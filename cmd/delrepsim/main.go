@@ -1,0 +1,223 @@
+// Command delrepsim runs one simulation configuration and prints its
+// results: GPU IPC, CPU latency/throughput, memory-node blocking, the
+// L1 miss breakdown, and NoC statistics.
+//
+// Usage:
+//
+//	delrepsim -gpu HS -cpu vips -scheme delegated -warm 20000 -cycles 60000
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"delrep/internal/config"
+	"delrep/internal/core"
+	"delrep/internal/workload"
+)
+
+func main() {
+	var (
+		gpuBench = flag.String("gpu", "HS", "GPU benchmark (see -list)")
+		cpuBench = flag.String("cpu", "vips", "CPU benchmark (see -list)")
+		scheme   = flag.String("scheme", "baseline", "baseline | delegated | rp")
+		layout   = flag.String("layout", "Baseline", "Baseline | B | C | D")
+		topo     = flag.String("topo", "mesh", "mesh | fbfly | dragonfly | crossbar")
+		routing  = flag.String("routing", "cdr", "cdr | dyxy | footprint | hare")
+		org      = flag.String("l1org", "private", "private | dcl1 | dyneb")
+		channel  = flag.Int("channel", 16, "NoC channel width in bytes")
+		warm     = flag.Int64("warm", 20000, "warmup cycles")
+		cycles   = flag.Int64("cycles", 60000, "measured cycles")
+		seed     = flag.Int64("seed", 1, "random seed")
+		list     = flag.Bool("list", false, "list benchmarks and exit")
+		heatmap  = flag.Bool("heatmap", false, "print link-utilization heatmaps (mesh only)")
+		vcdepth  = flag.Int("vcdepth", 0, "override VC buffer depth in flits")
+		jsonOut  = flag.Bool("json", false, "emit results as JSON")
+	)
+	flag.Parse()
+
+	if *list {
+		var g, c []string
+		for _, p := range workload.GPUProfiles() {
+			g = append(g, p.Name)
+		}
+		for _, p := range workload.CPUProfiles() {
+			c = append(c, p.Name)
+		}
+		fmt.Println("GPU benchmarks:", strings.Join(g, " "))
+		fmt.Println("CPU benchmarks:", strings.Join(c, " "))
+		return
+	}
+
+	cfg := config.Default()
+	cfg.WarmupCycles = *warm
+	cfg.MeasureCycles = *cycles
+	cfg.Seed = *seed
+	cfg.NoC.ChannelBytes = *channel
+	if *vcdepth > 0 {
+		cfg.NoC.FlitsPerVC = *vcdepth
+	}
+
+	switch strings.ToLower(*scheme) {
+	case "baseline":
+		cfg.Scheme = config.SchemeBaseline
+	case "delegated", "dr", "delegatedreplies":
+		cfg.Scheme = config.SchemeDelegatedReplies
+	case "rp":
+		cfg.Scheme = config.SchemeRP
+	default:
+		fatalf("unknown scheme %q", *scheme)
+	}
+
+	switch strings.ToLower(*layout) {
+	case "baseline", "a":
+		cfg.Layout = config.BaselineLayout()
+	case "b":
+		cfg.Layout = config.LayoutB()
+	case "c":
+		cfg.Layout = config.LayoutC()
+	case "d":
+		cfg.Layout = config.LayoutD()
+	default:
+		fatalf("unknown layout %q", *layout)
+	}
+	cfg.NoC.ReqOrder = cfg.Layout.ReqOrder
+	cfg.NoC.RepOrder = cfg.Layout.RepOrder
+
+	switch strings.ToLower(*topo) {
+	case "mesh":
+		cfg.NoC.Topology = config.TopoMesh
+	case "fbfly":
+		cfg.NoC.Topology = config.TopoFlattenedButterfly
+	case "dragonfly":
+		cfg.NoC.Topology = config.TopoDragonfly
+	case "crossbar":
+		cfg.NoC.Topology = config.TopoCrossbar
+	default:
+		fatalf("unknown topology %q", *topo)
+	}
+
+	switch strings.ToLower(*routing) {
+	case "cdr":
+		cfg.NoC.Routing = config.RoutingCDR
+	case "dyxy":
+		cfg.NoC.Routing = config.RoutingDyXY
+	case "footprint":
+		cfg.NoC.Routing = config.RoutingFootprint
+	case "hare":
+		cfg.NoC.Routing = config.RoutingHARE
+	default:
+		fatalf("unknown routing %q", *routing)
+	}
+
+	switch strings.ToLower(*org) {
+	case "private":
+		cfg.GPU.Org = config.L1Private
+	case "dcl1", "dc-l1":
+		cfg.GPU.Org = config.L1DCL1
+	case "dyneb":
+		cfg.GPU.Org = config.L1DynEB
+	default:
+		fatalf("unknown L1 organisation %q", *org)
+	}
+
+	sys := core.NewSystem(cfg, *gpuBench, *cpuBench)
+	r := sys.RunWorkload()
+
+	if *jsonOut {
+		out := struct {
+			GPU     string       `json:"gpu"`
+			CPU     string       `json:"cpu"`
+			Scheme  string       `json:"scheme"`
+			Results core.Results `json:"results"`
+		}{*gpuBench, *cpuBench, cfg.Scheme.String(), r}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fatalf("encoding results: %v", err)
+		}
+		return
+	}
+
+	fmt.Printf("workload           %s + %s\n", *gpuBench, *cpuBench)
+	fmt.Printf("scheme             %s  layout %s  topo %s  routing %s\n",
+		cfg.Scheme, cfg.Layout.Name, cfg.NoC.Topology, cfg.NoC.Routing)
+	fmt.Printf("cycles             %d (after %d warmup)\n", r.Cycles, cfg.WarmupCycles)
+	fmt.Printf("GPU IPC            %.2f (%.0f insts)\n", r.GPUIPC, float64(r.GPUInsts))
+	fmt.Printf("GPU recv rate      %.3f flits/cycle/core\n", r.GPURecvRate)
+	fmt.Printf("GPU L1 miss rate   %.1f%%\n", 100*r.L1MissRate)
+	fmt.Printf("inter-core local.  %.1f%%\n", 100*r.InterCoreLocal)
+	bd := r.Breakdown
+	fmt.Printf("miss breakdown     LLC-direct %.1f%%  remote-hit %.1f%%  remote-miss %.1f%%\n",
+		100*frac(bd.LLCDirect, bd.Total()), 100*frac(bd.RemoteHit, bd.Total()), 100*frac(bd.RemoteMiss, bd.Total()))
+	fmt.Printf("delegations        %d\n", r.Delegations)
+	if r.ProbesSent > 0 {
+		fmt.Printf("RP probes          %d sent, %.1f%% hit\n", r.ProbesSent, 100*frac(r.ProbeHits, r.ProbesSent))
+	}
+	fmt.Printf("CPU latency        %.1f cycles (max %.1f)\n", r.CPULatAvg, r.CPULatMax)
+	fmt.Printf("CPU throughput     %.4f req/cycle\n", r.CPUThroughput)
+	fmt.Printf("mem blocked rate   %.1f%%\n", 100*r.MemBlockedRate)
+	fmt.Printf("mem reply util     %.1f%%\n", 100*r.MemReplyLinkUtil)
+	fmt.Printf("LLC hit rate       %.1f%%\n", 100*r.LLCHitRate)
+	fmt.Printf("NoC flits          req %d, rep %d, hops %d\n", r.ReqFlits, r.RepFlits, r.FlitHops)
+	fmt.Printf("load latency       avg %.0f  llc %.0f  dram %.0f  remoteHit %.0f  remoteMiss %.0f\n",
+		r.GPULoadLatAvg, r.LatLLCHit, r.LatDRAM, r.LatRemoteHit, r.LatRemoteMiss)
+	fmt.Printf("DRAM               bus util %.1f%%  avg lat %.0f\n", 100*r.DRAMBusUtil, r.DRAMAvgLat)
+	fmt.Printf("MSHR               allocs %d merges %d  primary miss %.1f%%\n", r.MSHRAllocs, r.MSHRMerges, 100*r.PrimaryMissRate)
+	fmt.Printf("net transit (GPU)  request %.0f  reply %.0f cycles\n", r.ReqNetLatGPU, r.RepNetLatGPU)
+
+	if *heatmap {
+		printHeatmaps(sys)
+	}
+}
+
+// printHeatmaps renders per-link utilization of the mesh as ASCII
+// shades; the clogged memory-node reply links stand out as the dark
+// column next to the memory nodes.
+func printHeatmaps(sys *core.System) {
+	dirs := []struct {
+		name string
+		port int
+	}{
+		{"east", 1}, {"west", 2}, {"north", 3}, {"south", 4},
+	}
+	shades := []rune(" .:-=+*#%@")
+	for _, net := range []struct {
+		name  string
+		reply bool
+	}{{"request", false}, {"reply", true}} {
+		for _, d := range dirs {
+			grid := sys.MeshLinkUtil(net.reply, d.port)
+			if grid == nil {
+				fmt.Println("heatmaps are only available for the mesh topology")
+				return
+			}
+			fmt.Printf("\n%s network, %s links (utilization, @=100%%):\n", net.name, d.name)
+			for _, row := range grid {
+				for _, u := range row {
+					idx := int(u * float64(len(shades)-1))
+					if idx >= len(shades) {
+						idx = len(shades) - 1
+					}
+					fmt.Printf("%c", shades[idx])
+				}
+				fmt.Println()
+			}
+		}
+	}
+}
+
+func frac(a, b int64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "delrepsim: "+format+"\n", args...)
+	os.Exit(2)
+}

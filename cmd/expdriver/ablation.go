@@ -1,0 +1,44 @@
+package main
+
+import (
+	"fmt"
+
+	"delrep/internal/config"
+	"delrep/internal/stats"
+)
+
+// ablation explores the Delegated Replies design space around the
+// paper's choices (DESIGN.md's ablation list):
+//
+//   - delegation trigger: only-when-blocked (paper) vs always
+//   - delegation bandwidth per memory node per cycle
+//   - FRQ size, including the 8-entry paper value
+//   - FRQ same-line merging (the multicast extension the paper skips)
+func ablation(r *Runner) {
+	t := stats.NewTable("Delegated Replies ablations (HM GPU gain % over baseline)",
+		"Knob", "Setting", "DR gain %")
+
+	t.AddRow("trigger", "blocked-only (paper)", drGain(r, func(c *config.Config) {}))
+	t.AddRow("trigger", "always-delegate", drGain(r, func(c *config.Config) {
+		c.DelRep.AlwaysDelegate = true
+	}))
+	for _, n := range []int{1, 2, 4} {
+		n := n
+		t.AddRow("delegations/cycle", fmt.Sprint(n), drGain(r, func(c *config.Config) {
+			c.DelRep.MaxDelegationsPerCycle = n
+		}))
+	}
+	for _, e := range []int{2, 8, 32} {
+		e := e
+		t.AddRow("FRQ entries", fmt.Sprint(e), drGain(r, func(c *config.Config) {
+			c.GPU.FRQEntries = e
+		}))
+	}
+	t.AddRow("FRQ merging", "off (paper)", drGain(r, func(c *config.Config) {}))
+	t.AddRow("FRQ merging", "on (idealized multicast)", drGain(r, func(c *config.Config) {
+		c.DelRep.FRQMerge = true
+	}))
+	fmt.Println(t)
+	fmt.Println("paper: delegates only when the reply network blocks (avoids needless latency);")
+	fmt.Println("       FRQ = 8 entries; merging skipped because only 4.8% of entries share a line")
+}

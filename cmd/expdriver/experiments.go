@@ -1,0 +1,193 @@
+package main
+
+import (
+	"fmt"
+
+	"delrep/internal/config"
+	"delrep/internal/stats"
+	"delrep/internal/workload"
+)
+
+// tableI prints the simulated architecture (paper Table I).
+func tableI(r *Runner) {
+	cfg := config.Default()
+	t := stats.NewTable("Table I: simulated CPU-GPU architecture", "Component", "Value")
+	gpu, cpuN, mem := cfg.Layout.Counts()
+	t.AddRow("GPU cores", fmt.Sprintf("%d SIMT cores, %d warps/core, %d-wide issue, %d KB L1 %d-way %d B lines, %d MSHRs",
+		gpu, cfg.GPU.WarpsPerSM, cfg.GPU.IssueWidth, cfg.GPU.L1Bytes/1024, cfg.GPU.L1Assoc, cfg.GPU.L1LineBytes, cfg.GPU.L1MSHRs))
+	t.AddRow("CPU cores", fmt.Sprintf("%d cores, %d B lines, MLP-throttled Netrace-style injectors", cpuN, cfg.CPU.L1LineBytes))
+	t.AddRow("Shared LLC", fmt.Sprintf("%d MB total, %d MB/slice, %d-way, %d B lines, core pointers",
+		mem*cfg.LLC.SliceBytes>>20, cfg.LLC.SliceBytes>>20, cfg.LLC.Assoc, cfg.LLC.LineBytes))
+	t.AddRow("DRAM", fmt.Sprintf("%d MCs, FR-FCFS, %d banks/MC, GDDR5 tCL=%d tRP=%d tRC=%d tRAS=%d tRCD=%d tRRD=%d tCCD=%d tWR=%d",
+		mem, cfg.DRAM.Banks, cfg.DRAM.TCL, cfg.DRAM.TRP, cfg.DRAM.TRC, cfg.DRAM.TRAS, cfg.DRAM.TRCD, cfg.DRAM.TRRD, cfg.DRAM.TCCD, cfg.DRAM.TWR))
+	t.AddRow("NoC", fmt.Sprintf("%dx%d mesh, CDR %s(req)/%s(rep), %d B channels, %d VCs x %d flits, %d-cycle routers, CPU priority",
+		cfg.Layout.Width, cfg.Layout.Height, cfg.NoC.ReqOrder, cfg.NoC.RepOrder,
+		cfg.NoC.ChannelBytes, cfg.NoC.VCsPerClass, cfg.NoC.FlitsPerVC, cfg.NoC.RouterDelay))
+	t.AddRow("Delegated Replies", fmt.Sprintf("FRQ %d entries/core, <=%d delegation/cycle/memnode, DNF remote-miss path",
+		cfg.GPU.FRQEntries, cfg.DelRep.MaxDelegationsPerCycle))
+	fmt.Println(t)
+	fmt.Println(cfg.Layout)
+}
+
+// tableII prints the workload pairings (paper Table II).
+func tableII(*Runner) {
+	t := stats.NewTable("Table II: heterogeneous CPU-GPU workloads",
+		"GPU bench", "Grid", "CPU bmk#1", "CPU bmk#2", "CPU bmk#3")
+	pair := workload.TableII()
+	for _, p := range workload.GPUProfiles() {
+		c := pair[p.Name]
+		t.AddRow(p.Name, fmt.Sprintf("(%d,%d,1)", p.GridX, p.GridY), c[0], c[1], c[2])
+	}
+	fmt.Println(t)
+}
+
+// fig2 measures inter-core locality on the baseline.
+func fig2(r *Runner) {
+	t := stats.NewTable("Figure 2: fraction of L1 misses resident in a remote L1",
+		"GPU bench", "Locality %", "L1 miss %")
+	var loc []float64
+	for _, g := range r.GPUBenches() {
+		res := r.Run(BaseConfig(config.SchemeBaseline), g, PrimaryCPU(g))
+		t.AddRow(g, 100*res.InterCoreLocal, 100*res.L1MissRate)
+		loc = append(loc, res.InterCoreLocal)
+	}
+	t.AddRow("MEAN", 100*stats.Mean(loc), "")
+	fmt.Println(t)
+	fmt.Println("paper: >57% of L1 misses are duplicated in remote L1s on average")
+}
+
+// fig5 compares topologies at nominal and doubled bandwidth, plus the
+// memory-node blocking rates (Figure 5b).
+func fig5(r *Runner) {
+	type variant struct {
+		name string
+		topo config.Topology
+		mult int
+	}
+	variants := []variant{
+		{"mesh-1x", config.TopoMesh, 1},
+		{"crossbar-1x", config.TopoCrossbar, 1},
+		{"fbfly-1x", config.TopoFlattenedButterfly, 1},
+		{"dragonfly-1x", config.TopoDragonfly, 1},
+		{"mesh-2x", config.TopoMesh, 2},
+		{"crossbar-2x", config.TopoCrossbar, 2},
+		{"fbfly-2x", config.TopoFlattenedButterfly, 2},
+		{"dragonfly-2x", config.TopoDragonfly, 2},
+	}
+	t := stats.NewTable("Figure 5a: GPU performance vs mesh baseline (HM across benchmarks)",
+		"Config", "Rel. GPU perf", "Blocking % (5b)")
+	for _, v := range variants {
+		var rel []float64
+		var blocked stats.Sampler
+		for _, g := range r.SubsetBenches() {
+			cfg := BaseConfig(config.SchemeBaseline)
+			cfg.NoC.Topology = v.topo
+			cfg.NoC.ChannelBytes *= v.mult
+			res := r.Run(cfg, g, PrimaryCPU(g))
+			base := r.Run(BaseConfig(config.SchemeBaseline), g, PrimaryCPU(g))
+			rel = append(rel, res.GPUIPC/base.GPUIPC)
+			blocked.Add(res.MemBlockedRate)
+		}
+		t.AddRow(v.name, stats.HarmonicMean(rel), 100*blocked.Mean())
+	}
+	fmt.Println(t)
+	fmt.Println("paper: changing topology hardly helps (blocking stays 72-79%); doubling bandwidth helps but costs 2.5x area")
+}
+
+// fig6 evaluates asymmetric VC partitioning on a shared physical
+// network at equal aggregate bandwidth.
+func fig6(r *Runner) {
+	splits := []struct {
+		name     string
+		req, rep int
+	}{
+		{"AVCP-1:3", 1, 3},
+		{"AVCP-2:2", 2, 2},
+		{"AVCP-3:1", 3, 1},
+	}
+	t := stats.NewTable("Figure 6: AVCP vs baseline (per benchmark, relative GPU perf)",
+		append([]string{"Config"}, append(r.SubsetBenches(), "HM")...)...)
+	for _, sp := range splits {
+		row := []any{sp.name}
+		var rel []float64
+		for _, g := range r.SubsetBenches() {
+			cfg := BaseConfig(config.SchemeBaseline)
+			cfg.NoC.SharedPhys = true
+			cfg.NoC.ChannelBytes *= 2 // one physical network, same aggregate bandwidth
+			cfg.NoC.ReqVCs, cfg.NoC.RepVCs = sp.req, sp.rep
+			res := r.Run(cfg, g, PrimaryCPU(g))
+			base := r.Run(BaseConfig(config.SchemeBaseline), g, PrimaryCPU(g))
+			rel = append(rel, res.GPUIPC/base.GPUIPC)
+			row = append(row, res.GPUIPC/base.GPUIPC)
+		}
+		row = append(row, stats.HarmonicMean(rel))
+		t.AddRow(row...)
+	}
+	fmt.Println(t)
+	fmt.Println("paper: AVCP is ineffective (<=3% best case, HM unchanged; BP hurt by request-network pressure)")
+}
+
+// fig7 evaluates the adaptive routing schemes against CDR.
+func fig7(r *Runner) {
+	algs := []config.RoutingAlg{config.RoutingDyXY, config.RoutingFootprint, config.RoutingHARE}
+	t := stats.NewTable("Figure 7: adaptive routing vs CDR baseline (relative GPU perf)",
+		"Routing", "Rel. GPU perf (HM)")
+	for _, alg := range algs {
+		var rel []float64
+		for _, g := range r.SubsetBenches() {
+			cfg := BaseConfig(config.SchemeBaseline)
+			cfg.NoC.Routing = alg
+			res := r.Run(cfg, g, PrimaryCPU(g))
+			base := r.Run(BaseConfig(config.SchemeBaseline), g, PrimaryCPU(g))
+			rel = append(rel, res.GPUIPC/base.GPUIPC)
+		}
+		t.AddRow(alg.String(), stats.HarmonicMean(rel))
+	}
+	fmt.Println(t)
+	fmt.Println("paper: adaptive routing reduces performance; the limitation is link bandwidth, not path choice")
+}
+
+// fig9 studies layouts and CDR dimension orders.
+func fig9(r *Runner) {
+	type lc struct {
+		layout   config.Layout
+		req, rep config.DimOrder
+	}
+	variants := []lc{
+		{config.BaselineLayout(), config.OrderYX, config.OrderXY},
+		{config.BaselineLayout(), config.OrderXY, config.OrderXY},
+		{config.LayoutB(), config.OrderXY, config.OrderYX},
+		{config.LayoutB(), config.OrderXY, config.OrderXY},
+		{config.LayoutC(), config.OrderXY, config.OrderYX},
+		{config.LayoutC(), config.OrderXY, config.OrderXY},
+		{config.LayoutD(), config.OrderXY, config.OrderXY},
+	}
+	t := stats.NewTable("Figure 9: layouts and routing (normalized to Baseline YX-XY)",
+		"Layout", "Routing", "GPU perf", "CPU perf")
+	var baseGPU, baseCPU []float64
+	for i, v := range variants {
+		var gpuR, cpuR []float64
+		for _, g := range r.SubsetBenches() {
+			cfg := BaseConfig(config.SchemeBaseline)
+			cfg.Layout = v.layout
+			cfg.NoC.ReqOrder, cfg.NoC.RepOrder = v.req, v.rep
+			res := r.Run(cfg, g, PrimaryCPU(g))
+			gpuR = append(gpuR, res.GPUIPC)
+			cpuR = append(cpuR, res.CPUThroughput)
+		}
+		if i == 0 {
+			baseGPU, baseCPU = gpuR, cpuR
+		}
+		var rg, rc []float64
+		for j := range gpuR {
+			rg = append(rg, gpuR[j]/baseGPU[j])
+			if baseCPU[j] > 0 {
+				rc = append(rc, cpuR[j]/baseCPU[j])
+			}
+		}
+		t.AddRow(v.layout.Name, v.req.String()+"-"+v.rep.String(),
+			stats.HarmonicMean(rg), stats.HarmonicMean(rc))
+	}
+	fmt.Println(t)
+	fmt.Println("paper: only the Baseline layout provides both high CPU and GPU performance")
+}

@@ -1,0 +1,125 @@
+// Command expdriver regenerates every table and figure of the paper's
+// evaluation. Each subcommand reproduces one experiment and prints an
+// aligned table, including the paper's reference values where the paper
+// states them, so shape can be compared directly.
+//
+// Usage:
+//
+//	expdriver [-quick] [-warm N] [-cycles N] <experiment> [...]
+//	expdriver all            # every experiment in paper order
+//	expdriver list           # list experiments
+//
+// -quick shrinks the simulation windows and the workload set; use it to
+// validate the harness before a full run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+)
+
+// experiment is one reproducible table/figure.
+type experiment struct {
+	name  string
+	about string
+	run   func(*Runner)
+}
+
+func experiments() []experiment {
+	return []experiment{
+		{"tableI", "simulated CPU-GPU architecture parameters", tableI},
+		{"tableII", "heterogeneous CPU-GPU workload pairings", tableII},
+		{"fig2", "inter-core locality of GPU benchmarks", fig2},
+		{"fig5", "NoC topology and bandwidth study (+ blocking rates)", fig5},
+		{"fig6", "asymmetric VC partitioning (AVCP)", fig6},
+		{"fig7", "adaptive routing schemes", fig7},
+		{"fig9", "chip layout and routing policy study", fig9},
+		{"fig10", "GPU performance: Delegated Replies vs RP vs baseline", fig10},
+		{"fig11", "received data rate per GPU core", fig11},
+		{"fig12", "CPU network latency", fig12},
+		{"fig13", "CPU performance", fig13},
+		{"fig14", "L1 miss breakdown (LLC hit / remote hit / remote miss)", fig14},
+		{"fig15", "Delegated Replies on shared-L1 organisations", fig15},
+		{"fig16", "Delegated Replies across NoC topologies", fig16},
+		{"fig17", "GPU performance across chip layouts", fig17},
+		{"fig18", "CPU performance across chip layouts", fig18},
+		{"fig19", "sensitivity: L1/LLC size, NoC bandwidth, VCs, nodes, buffers", fig19},
+		{"nodemix", "CPU/GPU/memory node mix study", nodeMix},
+		{"ablation", "Delegated Replies design-space ablations", ablation},
+		{"energy", "NoC dynamic energy and system energy", energy},
+		{"area", "NoC and mechanism area model (DSENT/CACTI analogue)", area},
+	}
+}
+
+func main() {
+	var (
+		quick  = flag.Bool("quick", false, "small windows and workload subset")
+		warm   = flag.Int64("warm", 0, "override warmup cycles")
+		cycles = flag.Int64("cycles", 0, "override measured cycles")
+		seed   = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+
+	r := NewRunner(*quick, *seed)
+	if *warm > 0 {
+		r.Warm = *warm
+	}
+	if *cycles > 0 {
+		r.Measure = *cycles
+	}
+
+	if args[0] == "list" {
+		for _, e := range experiments() {
+			fmt.Printf("  %-8s %s\n", e.name, e.about)
+		}
+		return
+	}
+
+	want := map[string]bool{}
+	if args[0] == "all" {
+		for _, e := range experiments() {
+			want[e.name] = true
+		}
+	} else {
+		for _, a := range args {
+			want[a] = true
+		}
+	}
+	known := map[string]bool{}
+	for _, e := range experiments() {
+		known[e.name] = true
+	}
+	var unknown []string
+	for a := range want {
+		if !known[a] {
+			unknown = append(unknown, a)
+		}
+	}
+	if len(unknown) > 0 {
+		sort.Strings(unknown)
+		fmt.Fprintf(os.Stderr, "expdriver: unknown experiments: %v\n", unknown)
+		usage()
+		os.Exit(2)
+	}
+	for _, e := range experiments() {
+		if !want[e.name] {
+			continue
+		}
+		start := time.Now()
+		fmt.Printf("### %s — %s\n\n", e.name, e.about)
+		e.run(r)
+		fmt.Printf("(%s, %d simulations, %s)\n\n", e.name, r.TakeRunCount(), time.Since(start).Round(time.Second))
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: expdriver [-quick] [-warm N] [-cycles N] <experiment>|all|list ...")
+}

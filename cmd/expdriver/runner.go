@@ -1,0 +1,120 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"delrep/internal/config"
+	"delrep/internal/core"
+	"delrep/internal/workload"
+)
+
+// Runner executes and memoizes simulations: several figures share the
+// same underlying runs (e.g. Figures 10-14 all use the 33-workload
+// three-scheme sweep), so repeated requests are served from cache.
+type Runner struct {
+	Warm    int64
+	Measure int64
+	Seed    int64
+	Quick   bool
+
+	cache map[string]core.Results
+	runs  int
+}
+
+// NewRunner builds a runner; quick mode shrinks windows and workloads.
+func NewRunner(quick bool, seed int64) *Runner {
+	r := &Runner{Warm: 12_000, Measure: 30_000, Seed: seed, Quick: quick,
+		cache: map[string]core.Results{}}
+	if quick {
+		r.Warm, r.Measure = 5_000, 12_000
+	}
+	return r
+}
+
+// GPUBenches returns the benchmark set (shrunk under -quick).
+func (r *Runner) GPUBenches() []string {
+	var names []string
+	for _, p := range workload.GPUProfiles() {
+		names = append(names, p.Name)
+	}
+	if r.Quick {
+		return []string{"2DCON", "HS", "BP"}
+	}
+	return names
+}
+
+// SubsetBenches returns a five-benchmark set spanning the workload
+// characters (dense stencil, remote-miss, low-miss, write-heavy,
+// LLC-friendly), used by the wide sensitivity sweeps to keep the full
+// evaluation tractable on one core.
+func (r *Runner) SubsetBenches() []string {
+	if r.Quick {
+		return []string{"HS", "BP"}
+	}
+	return []string{"2DCON", "HS", "BT", "NN", "BP"}
+}
+
+// PrimaryCPU returns the first Table II co-runner of a GPU benchmark.
+func PrimaryCPU(gpu string) string { return workload.TableII()[gpu][0] }
+
+// CoRunners returns the Table II CPU benchmarks for a GPU benchmark
+// (just the primary under -quick).
+func (r *Runner) CoRunners(gpu string) []string {
+	cpus := workload.TableII()[gpu]
+	if r.Quick {
+		return cpus[:1]
+	}
+	return cpus[:]
+}
+
+// key serializes the run-identifying configuration.
+func key(cfg config.Config, gpu, cpu string) string {
+	return fmt.Sprintf("%s|%s|s%d|%s|t%d|r%d|%v%v|ch%d|vc%d-%d|fb%d|ib%d|sh%v-%d-%d|L1:%d-%v-%v|LLC:%d|mesh%dx%d|k%d|dr%d-%v-%v|frq%d|seed%d",
+		gpu, cpu, cfg.Scheme, cfg.Layout.Name,
+		cfg.NoC.Topology, cfg.NoC.Routing, cfg.NoC.ReqOrder, cfg.NoC.RepOrder,
+		cfg.NoC.ChannelBytes, cfg.NoC.VCsPerClass, cfg.NoC.AdaptiveVCs, cfg.NoC.FlitsPerVC,
+		cfg.NoC.InjectionBuf, cfg.NoC.SharedPhys, cfg.NoC.ReqVCs, cfg.NoC.RepVCs,
+		cfg.GPU.L1Bytes, cfg.GPU.Org, cfg.GPU.CTASched,
+		cfg.LLC.SliceBytes, cfg.Layout.Width, cfg.Layout.Height,
+		cfg.GPU.KernelCycles,
+		cfg.DelRep.MaxDelegationsPerCycle, cfg.DelRep.AlwaysDelegate, cfg.DelRep.FRQMerge,
+		cfg.GPU.FRQEntries, cfg.Seed)
+}
+
+// Run executes (or recalls) one simulation.
+func (r *Runner) Run(cfg config.Config, gpu, cpu string) core.Results {
+	cfg.WarmupCycles = r.Warm
+	cfg.MeasureCycles = r.Measure
+	cfg.Seed = r.Seed
+	k := key(cfg, gpu, cpu)
+	if res, ok := r.cache[k]; ok {
+		return res
+	}
+	fmt.Fprintf(os.Stderr, "  run %-5s + %-12s %s %s %s...\n",
+		gpu, cpu, cfg.Scheme, cfg.Layout.Name, cfg.NoC.Topology)
+	sys := core.NewSystem(cfg, gpu, cpu)
+	res := sys.RunWorkload()
+	r.cache[k] = res
+	r.runs++
+	return res
+}
+
+// TakeRunCount returns and resets the simulation counter.
+func (r *Runner) TakeRunCount() int {
+	n := r.runs
+	r.runs = 0
+	return n
+}
+
+// BaseConfig returns the default configuration with scheme applied.
+func BaseConfig(scheme config.Scheme) config.Config {
+	cfg := config.Default()
+	cfg.Scheme = scheme
+	return cfg
+}
+
+// schemes in paper comparison order.
+var allSchemes = []config.Scheme{
+	config.SchemeBaseline, config.SchemeRP, config.SchemeDelegatedReplies,
+}

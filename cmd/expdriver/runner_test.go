@@ -1,0 +1,114 @@
+package main
+
+import (
+	"testing"
+
+	"delrep/internal/config"
+)
+
+func TestKeyDistinguishesConfigs(t *testing.T) {
+	base := BaseConfig(config.SchemeBaseline)
+	mutations := []func(*config.Config){
+		func(c *config.Config) { c.Scheme = config.SchemeDelegatedReplies },
+		func(c *config.Config) { c.NoC.Topology = config.TopoCrossbar },
+		func(c *config.Config) { c.NoC.Routing = config.RoutingDyXY },
+		func(c *config.Config) { c.NoC.ChannelBytes = 32 },
+		func(c *config.Config) { c.NoC.InjectionBuf = 16 },
+		func(c *config.Config) { c.NoC.SharedPhys = true; c.NoC.ReqVCs, c.NoC.RepVCs = 1, 3 },
+		func(c *config.Config) { c.GPU.L1Bytes = 64 * 1024 },
+		func(c *config.Config) { c.GPU.Org = config.L1DynEB },
+		func(c *config.Config) { c.GPU.CTASched = config.CTADistributed },
+		func(c *config.Config) { c.GPU.FRQEntries = 2 },
+		func(c *config.Config) { c.LLC.SliceBytes = 2 << 20 },
+		func(c *config.Config) { c.Layout = config.LayoutB() },
+		func(c *config.Config) { c.Layout = config.ScaledBaseline(10, 10) },
+		func(c *config.Config) { c.DelRep.MaxDelegationsPerCycle = 4 },
+		func(c *config.Config) { c.DelRep.AlwaysDelegate = true },
+		func(c *config.Config) { c.DelRep.FRQMerge = true },
+		func(c *config.Config) { c.Seed = 99 },
+	}
+	seen := map[string]int{key(base, "HS", "vips"): -1}
+	for i, mut := range mutations {
+		cfg := BaseConfig(config.SchemeBaseline)
+		mut(&cfg)
+		k := key(cfg, "HS", "vips")
+		if prev, dup := seen[k]; dup {
+			t.Errorf("mutation %d collides with %d: %s", i, prev, k)
+		}
+		seen[k] = i
+	}
+	if key(base, "HS", "vips") != key(base, "HS", "vips") {
+		t.Error("key is not deterministic")
+	}
+	if key(base, "HS", "vips") == key(base, "NN", "vips") {
+		t.Error("key ignores the GPU benchmark")
+	}
+	if key(base, "HS", "vips") == key(base, "HS", "dedup") {
+		t.Error("key ignores the CPU benchmark")
+	}
+}
+
+func TestRunnerBenchSets(t *testing.T) {
+	full := NewRunner(false, 1)
+	if got := len(full.GPUBenches()); got != 11 {
+		t.Fatalf("full bench set = %d, want 11", got)
+	}
+	if got := len(full.SubsetBenches()); got != 5 {
+		t.Fatalf("subset = %d, want 5", got)
+	}
+	if got := len(full.CoRunners("HS")); got != 3 {
+		t.Fatalf("co-runners = %d, want 3", got)
+	}
+	quick := NewRunner(true, 1)
+	if got := len(quick.GPUBenches()); got != 3 {
+		t.Fatalf("quick bench set = %d, want 3", got)
+	}
+	if got := len(quick.CoRunners("HS")); got != 1 {
+		t.Fatalf("quick co-runners = %d, want 1", got)
+	}
+	if quick.Warm >= full.Warm || quick.Measure >= full.Measure {
+		t.Fatal("quick windows not smaller")
+	}
+}
+
+func TestRunnerCaches(t *testing.T) {
+	r := NewRunner(true, 1)
+	r.Warm, r.Measure = 500, 1000 // tiny: this test runs real simulations
+	cfg := BaseConfig(config.SchemeBaseline)
+	a := r.Run(cfg, "HS", "vips")
+	if n := r.TakeRunCount(); n != 1 {
+		t.Fatalf("first run count = %d", n)
+	}
+	b := r.Run(cfg, "HS", "vips")
+	if n := r.TakeRunCount(); n != 0 {
+		t.Fatalf("cached run re-executed (%d)", n)
+	}
+	if a != b {
+		t.Fatal("cache returned different results")
+	}
+	cfg.Scheme = config.SchemeDelegatedReplies
+	r.Run(cfg, "HS", "vips")
+	if n := r.TakeRunCount(); n != 1 {
+		t.Fatalf("different scheme not re-run (%d)", n)
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	names := map[string]bool{}
+	for _, e := range experiments() {
+		if e.name == "" || e.about == "" || e.run == nil {
+			t.Errorf("incomplete experiment %+v", e)
+		}
+		if names[e.name] {
+			t.Errorf("duplicate experiment %s", e.name)
+		}
+		names[e.name] = true
+	}
+	for _, want := range []string{"tableI", "tableII", "fig2", "fig5", "fig6", "fig7",
+		"fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
+		"fig17", "fig18", "fig19", "nodemix", "energy", "area", "ablation"} {
+		if !names[want] {
+			t.Errorf("experiment %s missing from registry", want)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module delrep
+
+go 1.22

@@ -1,0 +1,196 @@
+// Package cache implements the set-associative caches and MSHR files
+// used by the GPU L1s, CPU L1s, and LLC slices. Caches operate on line
+// addresses (byte address / line size is done by the caller via Line)
+// and carry a small per-line auxiliary value which the LLC uses for the
+// Delegated Replies core pointer.
+package cache
+
+import "fmt"
+
+// Addr is a byte or line address in the simulated 48-bit address space.
+type Addr uint64
+
+// Config describes cache geometry.
+type Config struct {
+	SizeBytes int
+	Assoc     int
+	LineBytes int
+}
+
+// Sets returns the number of sets implied by the geometry.
+func (c Config) Sets() int { return c.SizeBytes / (c.Assoc * c.LineBytes) }
+
+// Line converts a byte address to a line address.
+func (c Config) Line(a Addr) Addr { return a / Addr(c.LineBytes) }
+
+type way struct {
+	line  Addr
+	valid bool
+	dirty bool
+	aux   uint32 // user payload, e.g. LLC core pointer (0 = invalid pointer)
+	used  uint64 // LRU timestamp
+}
+
+// Cache is a set-associative, LRU-replacement cache indexed by line
+// address. It is a tag store only; data contents are not simulated.
+type Cache struct {
+	cfg   Config
+	sets  [][]way
+	clock uint64
+
+	Accesses int64
+	Hits     int64
+}
+
+// New builds a cache with the given geometry.
+func New(cfg Config) *Cache {
+	sets := cfg.Sets()
+	if sets <= 0 {
+		panic(fmt.Sprintf("cache: bad geometry %+v", cfg))
+	}
+	c := &Cache{cfg: cfg, sets: make([][]way, sets)}
+	for i := range c.sets {
+		c.sets[i] = make([]way, cfg.Assoc)
+	}
+	return c
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+func (c *Cache) set(line Addr) []way {
+	// Index with a Fibonacci hash, taking the product's high bits: the
+	// low bits of consecutive multiples share common factors with the
+	// set count and would alias sequential sweeps into few sets.
+	h := uint64(line) * 0x9e3779b97f4a7c15
+	return c.sets[(h>>32)%uint64(len(c.sets))]
+}
+
+// Lookup probes the cache for a line; on a hit it updates LRU state and
+// returns the line's aux value.
+func (c *Cache) Lookup(line Addr) (hit bool, aux uint32) {
+	c.Accesses++
+	c.clock++
+	set := c.set(line)
+	for i := range set {
+		if set[i].valid && set[i].line == line {
+			set[i].used = c.clock
+			c.Hits++
+			return true, set[i].aux
+		}
+	}
+	return false, 0
+}
+
+// Peek probes without updating LRU or statistics (used by coherence
+// probes and invariant checks).
+func (c *Cache) Peek(line Addr) (hit bool, aux uint32) {
+	set := c.set(line)
+	for i := range set {
+		if set[i].valid && set[i].line == line {
+			return true, set[i].aux
+		}
+	}
+	return false, 0
+}
+
+// Insert fills a line (allocating on miss), setting its aux value and
+// dirty flag. It returns the victim line if a valid line was evicted.
+func (c *Cache) Insert(line Addr, aux uint32, dirty bool) (victim Addr, victimDirty, evicted bool) {
+	c.clock++
+	set := c.set(line)
+	lru := 0
+	for i := range set {
+		if set[i].valid && set[i].line == line {
+			set[i].aux = aux
+			set[i].dirty = set[i].dirty || dirty
+			set[i].used = c.clock
+			return 0, false, false
+		}
+		if !set[i].valid {
+			lru = i
+		} else if set[lru].valid && set[i].used < set[lru].used {
+			lru = i
+		}
+	}
+	v := set[lru]
+	set[lru] = way{line: line, valid: true, dirty: dirty, aux: aux, used: c.clock}
+	if v.valid {
+		return v.line, v.dirty, true
+	}
+	return 0, false, false
+}
+
+// SetAux updates the aux value of a resident line; it reports whether
+// the line was present.
+func (c *Cache) SetAux(line Addr, aux uint32) bool {
+	set := c.set(line)
+	for i := range set {
+		if set[i].valid && set[i].line == line {
+			set[i].aux = aux
+			return true
+		}
+	}
+	return false
+}
+
+// Invalidate removes a line if present and reports whether it was there.
+func (c *Cache) Invalidate(line Addr) bool {
+	set := c.set(line)
+	for i := range set {
+		if set[i].valid && set[i].line == line {
+			set[i].valid = false
+			return true
+		}
+	}
+	return false
+}
+
+// InvalidateAll flushes the whole cache (kernel-boundary software
+// coherence) and returns the number of lines dropped.
+func (c *Cache) InvalidateAll() int {
+	n := 0
+	for s := range c.sets {
+		for i := range c.sets[s] {
+			if c.sets[s][i].valid {
+				c.sets[s][i].valid = false
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// ClearAux zeroes the aux value of every resident line (LLC pointer
+// invalidation on GPU L1 flush).
+func (c *Cache) ClearAux() {
+	for s := range c.sets {
+		for i := range c.sets[s] {
+			c.sets[s][i].aux = 0
+		}
+	}
+}
+
+// Occupancy returns the number of valid lines.
+func (c *Cache) Occupancy() int {
+	n := 0
+	for s := range c.sets {
+		for i := range c.sets[s] {
+			if c.sets[s][i].valid {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// HitRate returns hits/accesses since construction or the last ResetStats.
+func (c *Cache) HitRate() float64 {
+	if c.Accesses == 0 {
+		return 0
+	}
+	return float64(c.Hits) / float64(c.Accesses)
+}
+
+// ResetStats clears the access/hit counters without touching contents.
+func (c *Cache) ResetStats() { c.Accesses, c.Hits = 0, 0 }

@@ -1,0 +1,90 @@
+package cache
+
+// MSHR is a miss-status holding register file: it tracks outstanding
+// misses per line and merges secondary requesters onto the primary miss.
+type MSHR struct {
+	cap     int
+	entries map[Addr]*MSHREntry
+
+	Allocs int64
+	Merges int64
+	Full   int64
+}
+
+// MSHREntry is one outstanding miss with its merged targets.
+type MSHREntry struct {
+	Line    Addr
+	Targets []any // requester-specific contexts delivered on fill
+}
+
+// NewMSHR builds an MSHR file with the given entry capacity.
+func NewMSHR(capacity int) *MSHR {
+	return &MSHR{cap: capacity, entries: make(map[Addr]*MSHREntry, capacity)}
+}
+
+// Cap returns the entry capacity.
+func (m *MSHR) Cap() int { return m.cap }
+
+// Len returns the number of outstanding misses.
+func (m *MSHR) Len() int { return len(m.entries) }
+
+// FullNow reports whether no new primary miss can be allocated.
+func (m *MSHR) FullNow() bool { return len(m.entries) >= m.cap }
+
+// Lookup returns the outstanding entry for a line, if any.
+func (m *MSHR) Lookup(line Addr) (*MSHREntry, bool) {
+	e, ok := m.entries[line]
+	return e, ok
+}
+
+// Allocate registers a primary miss for line with an initial target.
+// It returns false (and counts a Full event) when the file is full.
+// Allocating a line that is already outstanding merges instead.
+func (m *MSHR) Allocate(line Addr, target any) bool {
+	if e, ok := m.entries[line]; ok {
+		e.Targets = append(e.Targets, target)
+		m.Merges++
+		return true
+	}
+	if len(m.entries) >= m.cap {
+		m.Full++
+		return false
+	}
+	m.entries[line] = &MSHREntry{Line: line, Targets: []any{target}}
+	m.Allocs++
+	return true
+}
+
+// Merge appends a secondary target to an existing miss; it reports
+// whether the line was outstanding.
+func (m *MSHR) Merge(line Addr, target any) bool {
+	e, ok := m.entries[line]
+	if !ok {
+		return false
+	}
+	e.Targets = append(e.Targets, target)
+	m.Merges++
+	return true
+}
+
+// Release removes the entry for a filled line and returns its targets.
+func (m *MSHR) Release(line Addr) []any {
+	e, ok := m.entries[line]
+	if !ok {
+		return nil
+	}
+	delete(m.entries, line)
+	return e.Targets
+}
+
+// Lines returns the outstanding line addresses (order unspecified).
+func (m *MSHR) Lines() []Addr {
+	out := make([]Addr, 0, len(m.entries))
+	for l := range m.entries {
+		out = append(out, l)
+	}
+	return out
+}
+
+// ResetStats zeroes the allocation/merge counters (end of warmup).
+func (m *MSHR) ResetStats() { m.Allocs, m.Merges, m.Full = 0, 0, 0 }

@@ -1,0 +1,103 @@
+// Package core implements the paper's contribution — Delegated Replies —
+// together with the memory nodes (LLC slice + core pointers + memory
+// controller), the GPU cores (private or shared L1, MSHRs, FRQ,
+// Realistic Probing), and the full-system assembly that ties the NoC,
+// workload, CPU, and DRAM substrates into one cycle-driven simulation.
+package core
+
+import (
+	"delrep/internal/cache"
+)
+
+// MsgType enumerates the protocol messages carried as packet payloads.
+type MsgType uint8
+
+const (
+	// MsgGPURead is a GPU L1 read miss sent to a memory node
+	// (1 flit, request network). With DNF set it is a remote-miss
+	// re-request that the LLC must serve directly.
+	MsgGPURead MsgType = iota
+	// MsgGPUWrite is a write-through GPU store carrying a full line
+	// (header + data flits, request network).
+	MsgGPUWrite
+	// MsgCPURead is a CPU read miss (1 flit, request network,
+	// CPU priority).
+	MsgCPURead
+	// MsgReply carries a data line back to a requester (header + data
+	// flits, reply network).
+	MsgReply
+	// MsgWriteAck acknowledges a write-through (1 flit, reply network).
+	MsgWriteAck
+	// MsgDelegated is a delegated reply: a 1-flit request-network
+	// message sent by a memory node to the likely sharer, carrying the
+	// original requester's identity (the paper's sender-ID encoding).
+	MsgDelegated
+	// MsgProbe is a Realistic Probing query to a remote L1 (1 flit,
+	// request network).
+	MsgProbe
+	// MsgProbeNack reports a probe miss (1 flit, reply network).
+	MsgProbeNack
+)
+
+func (t MsgType) String() string {
+	switch t {
+	case MsgGPURead:
+		return "GPURead"
+	case MsgGPUWrite:
+		return "GPUWrite"
+	case MsgCPURead:
+		return "CPURead"
+	case MsgReply:
+		return "Reply"
+	case MsgWriteAck:
+		return "WriteAck"
+	case MsgDelegated:
+		return "Delegated"
+	case MsgProbe:
+		return "Probe"
+	case MsgProbeNack:
+		return "ProbeNack"
+	}
+	return "???"
+}
+
+// ReplyKind records how a reply was served, for the Figure 14 miss
+// breakdown and the delegation statistics.
+type ReplyKind uint8
+
+const (
+	// ReplyLLCHit was served directly by the LLC slice.
+	ReplyLLCHit ReplyKind = iota
+	// ReplyDRAM was served by DRAM after an LLC miss.
+	ReplyDRAM
+	// ReplyRemoteHit was served by a remote GPU L1 (delegation or
+	// delayed-hit forwarding).
+	ReplyRemoteHit
+	// ReplyRemoteMiss was served by the LLC after a delegated reply
+	// missed in the remote L1 (the DNF path).
+	ReplyRemoteMiss
+	// ReplyProbeHit was served by a remote L1 answering an RP probe.
+	ReplyProbeHit
+)
+
+// Msg is the payload of every packet in the system.
+type Msg struct {
+	Type MsgType
+	Line cache.Addr
+	// Requester is the node that ultimately needs the data. For
+	// delegated replies this implements the paper's "sender ID is the
+	// requesting core" encoding; for DNF re-requests it tells the LLC
+	// where to send the reply.
+	Requester int
+	// DNF (Do-Not-Forward) marks a remote-miss re-request; the LLC
+	// must process it without delegating again.
+	DNF bool
+	// Kind records how a MsgReply was served.
+	Kind ReplyKind
+	// Sharer is the previous LLC core pointer captured when the reply
+	// was generated (-1 when invalid): the delegation target.
+	Sharer int
+	// Born is the cycle the original load was issued, carried through
+	// the delegation chain for end-to-end latency accounting.
+	Born int64
+}

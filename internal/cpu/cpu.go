@@ -1,0 +1,137 @@
+// Package cpu models the latency-sensitive CPU cores as
+// dependency-throttled network trace injectors, following the paper's
+// Netrace methodology: each core issues read requests at its
+// benchmark's nominal rate, bounded by its memory-level parallelism,
+// and performance is the achieved request throughput. A benchmark with
+// small MLP becomes latency-bound as soon as the network latency
+// exceeds MLP/rate, which reproduces the published spread between
+// latency-sensitive (vips) and latency-tolerant (dedup) workloads.
+package cpu
+
+import (
+	"math/rand"
+
+	"delrep/internal/cache"
+	"delrep/internal/stats"
+	"delrep/internal/workload"
+)
+
+// CPUBase carves the CPU address region away from the GPU regions.
+const CPUBase = 3 << 30
+
+// RegionLines is the per-core footprint in 128 B lines, sized so CPU
+// traffic sees a realistic LLC hit rate rather than streaming past it.
+const RegionLines = 1 << 10
+
+// Sender abstracts how the core hands a read request to the memory
+// system (implemented by the core package's system wiring).
+type Sender interface {
+	// SendCPURead issues a read for the line from this core's node;
+	// it reports whether the request was accepted this cycle.
+	SendCPURead(node int, line cache.Addr) bool
+}
+
+// Core is one CPU core.
+type Core struct {
+	Node int
+	prof workload.CPUProfile
+	rng  *rand.Rand
+	out  Sender
+
+	gap         int64
+	sinceIssue  int64
+	outstanding int
+	sent        map[cache.Addr][]int64 // line -> issue cycles (FIFO per line)
+	seq         uint64
+	now         int64
+
+	// Statistics.
+	Completed   int64
+	Issued      int64
+	Lat         stats.Sampler
+	ThrottleMLP int64
+}
+
+// New builds a CPU core for the given node running the profile.
+func New(node int, prof workload.CPUProfile, out Sender, seed int64) *Core {
+	gap := int64(1)
+	if prof.InjRate > 0 {
+		gap = int64(1/prof.InjRate + 0.5)
+	}
+	if gap < 1 {
+		gap = 1
+	}
+	return &Core{
+		Node: node, prof: prof, out: out,
+		rng:  rand.New(rand.NewSource(seed ^ int64(node)*0x51 + 7)),
+		gap:  gap,
+		sent: make(map[cache.Addr][]int64),
+	}
+}
+
+// nextLine draws the next line address: a sequential walk with random
+// jumps over the core's private region.
+func (c *Core) nextLine() cache.Addr {
+	if c.rng.Float64() < c.prof.SeqP {
+		c.seq++
+	} else {
+		c.seq = uint64(c.rng.Intn(RegionLines))
+	}
+	c.seq %= RegionLines
+	return cache.Addr(CPUBase + uint64(c.Node)*RegionLines + c.seq)
+}
+
+// Tick issues at most one request per cycle when the inter-arrival gap
+// has elapsed and the MLP window has room.
+func (c *Core) Tick() {
+	c.now++
+	c.sinceIssue++
+	if c.sinceIssue < c.gap {
+		return
+	}
+	if c.outstanding >= c.prof.MLP {
+		c.ThrottleMLP++
+		return
+	}
+	line := c.nextLine()
+	if !c.out.SendCPURead(c.Node, line) {
+		return // network interface full; retry next cycle
+	}
+	c.sent[line] = append(c.sent[line], c.now)
+	c.outstanding++
+	c.Issued++
+	c.sinceIssue = 0
+}
+
+// ReplyArrived records the completion of an outstanding read.
+func (c *Core) ReplyArrived(line cache.Addr) {
+	times := c.sent[line]
+	if len(times) == 0 {
+		panic("cpu: reply for line with no outstanding request")
+	}
+	c.Lat.Add(float64(c.now - times[0]))
+	if len(times) == 1 {
+		delete(c.sent, line)
+	} else {
+		c.sent[line] = times[1:]
+	}
+	c.outstanding--
+	c.Completed++
+}
+
+// Outstanding returns the in-flight request count.
+func (c *Core) Outstanding() int { return c.outstanding }
+
+// Throughput returns completed requests per cycle over the window.
+func (c *Core) Throughput(cycles int64) float64 {
+	if cycles == 0 {
+		return 0
+	}
+	return float64(c.Completed) / float64(cycles)
+}
+
+// ResetStats zeroes the measurement counters (end of warmup).
+func (c *Core) ResetStats() {
+	c.Completed, c.Issued, c.ThrottleMLP = 0, 0, 0
+	c.Lat.Reset()
+}

@@ -1,0 +1,190 @@
+// Package gpu models the GPU streaming multiprocessor (SM): a set of
+// concurrent warps issued by a greedy-then-oldest (GTO) scheduler. Each
+// warp alternates compute phases with memory phases and barriers on its
+// outstanding loads, giving the SM the latency tolerance and burst
+// injection behaviour that characterise accelerator cores.
+package gpu
+
+import (
+	"delrep/internal/cache"
+	"delrep/internal/config"
+	"delrep/internal/workload"
+)
+
+// AccessResult is the immediate outcome of an L1 access.
+type AccessResult int
+
+const (
+	// AccessHit completed in the L1; the warp continues.
+	AccessHit AccessResult = iota
+	// AccessMiss is outstanding; LoadDone will be called later.
+	AccessMiss
+	// AccessBlocked means a resource (MSHR, write budget, L1 port,
+	// outbox) is unavailable; the instruction retries later.
+	AccessBlocked
+)
+
+// MemPort is the SM's interface to the memory system (implemented by
+// the core package's GPU core, which owns the L1 organisation).
+type MemPort interface {
+	Access(sm int, line cache.Addr, write bool, warp int) AccessResult
+}
+
+type warpState uint8
+
+const (
+	warpCompute warpState = iota
+	warpMem
+	warpBarrier
+)
+
+// warp is one concurrent warp's phase state machine. A drawn memory
+// address is held in pending state until the access is accepted, so a
+// Blocked access retries the same address (discarding it would bias the
+// reference stream toward hits under resource pressure).
+type warp struct {
+	state       warpState
+	computeLeft int
+	loadsLeft   int
+	outstanding int
+	hasPending  bool
+	pendLine    cache.Addr
+	pendWrite   bool
+}
+
+// SM is one streaming multiprocessor.
+type SM struct {
+	ID    int // GPU core index (0-based among GPU cores)
+	cfg   config.GPU
+	prof  workload.GPUProfile
+	gen   *workload.AddrGen
+	mem   MemPort
+	warps []warp
+	cur   int // GTO scheduler pointer
+
+	// Statistics.
+	Insts       int64
+	MemOps      int64
+	StallCycles int64
+	IssueCycles int64
+}
+
+// NewSM builds an SM running the given benchmark profile.
+func NewSM(id int, cfg config.GPU, prof workload.GPUProfile, gen *workload.AddrGen, mem MemPort) *SM {
+	sm := &SM{ID: id, cfg: cfg, prof: prof, gen: gen, mem: mem,
+		warps: make([]warp, cfg.WarpsPerSM)}
+	for i := range sm.warps {
+		// Stagger warp phases so bursts ramp up rather than lockstep.
+		sm.warps[i] = warp{state: warpCompute, computeLeft: 1 + (i*prof.ComputeLen)/cfg.WarpsPerSM}
+	}
+	return sm
+}
+
+// issuable reports whether warp w can issue an instruction now.
+func (s *SM) issuable(w *warp) bool {
+	return w.state != warpBarrier
+}
+
+// Tick issues up to IssueWidth instructions using GTO scheduling:
+// stick with the current warp while it can issue, else advance.
+func (s *SM) Tick() {
+	issued := 0
+	n := len(s.warps)
+	tried := 0
+	for issued < s.cfg.IssueWidth && tried < n {
+		w := &s.warps[s.cur]
+		if !s.issuable(w) {
+			s.cur = (s.cur + 1) % n
+			tried++
+			continue
+		}
+		if !s.issueOne(s.cur, w) {
+			// Blocked on a resource: try another warp.
+			s.cur = (s.cur + 1) % n
+			tried++
+			continue
+		}
+		issued++
+		tried = 0
+		if !s.issuable(w) {
+			s.cur = (s.cur + 1) % n
+		}
+	}
+	if issued > 0 {
+		s.IssueCycles++
+	} else {
+		s.StallCycles++
+	}
+}
+
+// issueOne attempts to issue one instruction from warp w (index idx);
+// it reports whether an instruction was issued.
+func (s *SM) issueOne(idx int, w *warp) bool {
+	switch w.state {
+	case warpCompute:
+		w.computeLeft--
+		s.Insts++
+		if w.computeLeft <= 0 {
+			w.state = warpMem
+			w.loadsLeft = s.prof.PhaseLoads
+		}
+		return true
+	case warpMem:
+		if !w.hasPending {
+			w.pendLine, w.pendWrite = s.gen.Next()
+			w.hasPending = true
+		}
+		res := s.mem.Access(s.ID, w.pendLine, w.pendWrite, idx)
+		if res == AccessBlocked {
+			return false
+		}
+		w.hasPending = false
+		s.Insts++
+		s.MemOps++
+		w.loadsLeft--
+		if res == AccessMiss && !w.pendWrite {
+			w.outstanding++
+		}
+		if w.loadsLeft <= 0 {
+			if w.outstanding > 0 {
+				w.state = warpBarrier
+			} else {
+				s.newPhase(w)
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// newPhase restarts a warp's compute phase.
+func (s *SM) newPhase(w *warp) {
+	w.state = warpCompute
+	w.computeLeft = s.prof.ComputeLen
+}
+
+// LoadDone signals that one outstanding load of the given warp
+// completed. It is safe to call in any cycle phase.
+func (s *SM) LoadDone(warpIdx int) {
+	w := &s.warps[warpIdx]
+	if w.outstanding <= 0 {
+		panic("gpu: LoadDone without outstanding load")
+	}
+	w.outstanding--
+	if w.outstanding == 0 && w.state == warpBarrier {
+		s.newPhase(w)
+	}
+}
+
+// IPC returns instructions per cycle over the given cycle count.
+func (s *SM) IPC(cycles int64) float64 {
+	if cycles == 0 {
+		return 0
+	}
+	return float64(s.Insts) / float64(cycles)
+}
+
+// ResetStats zeroes the instruction counters (end of warmup).
+func (s *SM) ResetStats() {
+	s.Insts, s.MemOps, s.StallCycles, s.IssueCycles = 0, 0, 0, 0
+}

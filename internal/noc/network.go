@@ -1,0 +1,324 @@
+package noc
+
+import (
+	"fmt"
+
+	"delrep/internal/config"
+	"delrep/internal/stats"
+)
+
+type evKind uint8
+
+const (
+	evFlit evKind = iota
+	evCredit
+)
+
+// event is a timed delivery: a flit arriving at a router input VC, or a
+// credit returning to a router output VC.
+type event struct {
+	kind   evKind
+	router int
+	port   int
+	vc     int
+	flit   Flit
+}
+
+// Network is one physical interconnect: routers wired per the topology,
+// plus one network interface per node. The baseline uses two Network
+// instances (request and reply); AVCP and the virtual-network study use
+// a single shared instance with per-class VC ranges.
+type Network struct {
+	Label    string
+	topo     Topology
+	cfg      config.NoC
+	numVCs   int
+	bufDepth int
+	hopDelay int
+	hare     bool
+
+	Routers []*Router
+	NIs     []*NI
+
+	ring [][]event
+	now  int64
+
+	// Statistics (reset at the end of warmup).
+	InjFlits [2]int64 // per class
+	EjFlits  [2]int64
+	PktLat   [3]stats.Sampler // per priority
+	flitHops int64
+	measured int64 // cycles since last ResetStats
+}
+
+// Params bundles the NI buffer capacities used at construction.
+type Params struct {
+	InjCapCore int // injection queue depth (packets) at CPU/GPU nodes
+	InjCapMem  int // injection buffer depth (packets) at memory nodes
+	EjCap      int // NI per-VC ejection buffer depth (flits)
+	AsmCap     int // assembled packets awaiting node acceptance
+	MemNodes   map[int]bool
+}
+
+// NewNetwork builds and wires a network over the given node count.
+func NewNetwork(label string, topo Topology, cfg config.NoC, nodes int, p Params) *Network {
+	numVCs := cfg.VCsPerClass
+	if cfg.SharedPhys {
+		numVCs = cfg.ReqVCs + cfg.RepVCs
+	}
+	if numVCs <= 0 {
+		panic("noc: network needs at least one VC")
+	}
+	n := &Network{
+		Label:    label,
+		topo:     topo,
+		cfg:      cfg,
+		numVCs:   numVCs,
+		bufDepth: cfg.FlitsPerVC,
+		hopDelay: cfg.RouterDelay + cfg.LinkDelay,
+		hare:     cfg.Routing == config.RoutingHARE,
+	}
+	n.ring = make([][]event, n.hopDelay+2)
+	n.Routers = make([]*Router, topo.NumRouters())
+	for r := range n.Routers {
+		n.Routers[r] = newRouter(n, r, topo.NumPorts(r), numVCs, n.bufDepth)
+	}
+	// Wire inter-router links and credits.
+	for r := range n.Routers {
+		for port := 0; port < topo.NumPorts(r); port++ {
+			peer, peerPort, ok := topo.Wire(r, port)
+			if !ok {
+				continue
+			}
+			out := &n.Routers[r].out[port]
+			out.link = &wire{to: peer, toPort: peerPort}
+			out.connected = true
+			for v := range out.credits {
+				out.credits[v] = n.bufDepth
+			}
+			n.Routers[peer].inFrom[peerPort] = feeder{r: r, port: port, ok: true}
+		}
+	}
+	// Attach NIs.
+	n.NIs = make([]*NI, nodes)
+	for node := 0; node < nodes; node++ {
+		r, port := topo.NodePort(node)
+		injCap := [2]int{p.InjCapCore, p.InjCapCore}
+		if p.MemNodes[node] {
+			// The reply-class queue of a memory node is the paper's
+			// bounded injection buffer.
+			injCap[ClassReply] = p.InjCapMem
+		}
+		ni := &NI{
+			net: n, Node: node, router: r, port: port,
+			injCap: injCap,
+			ejBuf:  make([][]Flit, numVCs),
+			asmCap: p.AsmCap,
+		}
+		n.NIs[node] = ni
+		out := &n.Routers[r].out[port]
+		out.eject = ni
+		out.connected = true
+		for v := range out.credits {
+			out.credits[v] = p.EjCap
+		}
+	}
+	return n
+}
+
+// VCRange returns the inclusive VC range a traffic class may use.
+func (n *Network) VCRange(c Class) (lo, hi int) {
+	if !n.cfg.SharedPhys {
+		return 0, n.numVCs - 1
+	}
+	if c == ClassRequest {
+		return 0, n.cfg.ReqVCs - 1
+	}
+	return n.cfg.ReqVCs, n.cfg.ReqVCs + n.cfg.RepVCs - 1
+}
+
+// Now returns the network cycle count.
+func (n *Network) Now() int64 { return n.now }
+
+// Topology returns the network's topology.
+func (n *Network) Topology() Topology { return n.topo }
+
+// schedule queues a delivery `delay` cycles in the future (>= 1).
+func (n *Network) schedule(delay int, ev event) {
+	if delay < 1 {
+		delay = 1
+	}
+	slot := (n.now + int64(delay)) % int64(len(n.ring))
+	n.ring[slot] = append(n.ring[slot], ev)
+}
+
+// Tick advances the network one cycle.
+func (n *Network) Tick() {
+	n.now++
+	n.measured++
+	slot := n.now % int64(len(n.ring))
+	for _, ev := range n.ring[slot] {
+		r := n.Routers[ev.router]
+		switch ev.kind {
+		case evFlit:
+			r.acceptFlit(ev.port, ev.vc, ev.flit)
+		case evCredit:
+			r.out[ev.port].credits[ev.vc]++
+		}
+	}
+	n.ring[slot] = n.ring[slot][:0]
+	for _, ni := range n.NIs {
+		ni.tickInject()
+	}
+	for _, r := range n.Routers {
+		r.tick()
+	}
+	for _, ni := range n.NIs {
+		ni.tickEject()
+	}
+}
+
+// ResetStats zeroes all measurement counters (end of warmup) without
+// disturbing in-flight traffic.
+func (n *Network) ResetStats() {
+	n.InjFlits = [2]int64{}
+	n.EjFlits = [2]int64{}
+	for i := range n.PktLat {
+		n.PktLat[i].Reset()
+	}
+	n.flitHops = 0
+	n.measured = 0
+	for _, r := range n.Routers {
+		for p := range r.out {
+			r.out[p].sent = 0
+		}
+	}
+	for _, ni := range n.NIs {
+		ni.EjFlitsByClass = [2]int64{}
+		ni.StallCycles = 0
+		ni.InjStallEv = 0
+	}
+}
+
+// FlitHops returns total flit-hop traversals since the last reset
+// (the activity factor for the energy model).
+func (n *Network) FlitHops() int64 { return n.flitHops }
+
+// MeasuredCycles returns cycles since the last ResetStats.
+func (n *Network) MeasuredCycles() int64 { return n.measured }
+
+// PortUtilization returns the fraction of measured cycles that router
+// r's output port carried a flit.
+func (n *Network) PortUtilization(r, port int) float64 {
+	if n.measured == 0 {
+		return 0
+	}
+	return float64(n.Routers[r].out[port].sent) / float64(n.measured)
+}
+
+// Quiet reports whether the network holds no buffered or in-flight
+// flits (used by drain tests).
+func (n *Network) Quiet() bool {
+	for _, r := range n.Routers {
+		if r.BufferedFlits() > 0 {
+			return false
+		}
+	}
+	for _, slot := range n.ring {
+		for _, ev := range slot {
+			if ev.kind == evFlit {
+				return false
+			}
+		}
+	}
+	for _, ni := range n.NIs {
+		if len(ni.injQ[0]) > 0 || len(ni.injQ[1]) > 0 || len(ni.streams) > 0 || len(ni.asm) > 0 {
+			return false
+		}
+		for _, b := range ni.ejBuf {
+			if len(b) > 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// CheckCreditInvariant verifies that, for every wired output VC,
+// credits + downstream buffer occupancy + in-flight flits equals the
+// buffer depth. It returns an error describing the first violation.
+func (n *Network) CheckCreditInvariant() error {
+	inFlight := make(map[[3]int]int) // (router, port, vc) -> flits on the wire
+	credits := make(map[[3]int]int)  // (router, port, vc) -> credits on the wire
+	for _, slot := range n.ring {
+		for _, ev := range slot {
+			k := [3]int{ev.router, ev.port, ev.vc}
+			if ev.kind == evFlit {
+				inFlight[k]++
+			} else {
+				credits[k]++
+			}
+		}
+	}
+	for _, r := range n.Routers {
+		for p := range r.out {
+			op := &r.out[p]
+			if op.link == nil {
+				continue
+			}
+			for v := range op.credits {
+				down := n.Routers[op.link.to]
+				occ := len(down.in[op.link.toPort][v].q)
+				fly := inFlight[[3]int{op.link.to, op.link.toPort, v}]
+				cred := credits[[3]int{r.ID, p, v}]
+				total := op.credits[v] + occ + fly + cred
+				if total != n.bufDepth {
+					return fmt.Errorf("credit invariant violated at router %d port %d vc %d: credits=%d occ=%d inflight=%d creditsInFlight=%d depth=%d",
+						r.ID, p, v, op.credits[v], occ, fly, cred, n.bufDepth)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// NI returns the network interface of a node.
+func (n *Network) NI(node int) *NI { return n.NIs[node] }
+
+// DebugPortState summarises an output port's credits and VC ownership
+// (diagnostics).
+func (n *Network) DebugPortState(r, port int) string {
+	op := &n.Routers[r].out[port]
+	s := "E:"
+	for v := range op.credits {
+		owner := "free"
+		if op.owner[v] != ownerFree {
+			owner = "held"
+		}
+		s += fmt.Sprintf("vc%d(c%d,%s)", v, op.credits[v], owner)
+	}
+	return s
+}
+
+// DebugLocalIn summarises the local input port VC occupancy
+// (diagnostics).
+func (n *Network) DebugLocalIn(r int) string {
+	rt := n.Routers[r]
+	s := "L:"
+	for v := range rt.in[0] {
+		b := &rt.in[0][v]
+		s += fmt.Sprintf("vc%d(q%d,out%d)", v, len(b.q), b.outPort)
+	}
+	return s
+}
+
+// DebugInPort summarises an input port's VC occupancy (diagnostics).
+func (n *Network) DebugInPort(r, port int) string {
+	rt := n.Routers[r]
+	s := ""
+	for v := range rt.in[port] {
+		b := &rt.in[port][v]
+		s += fmt.Sprintf("vc%d(q%d,out%d)", v, len(b.q), b.outPort)
+	}
+	return s
+}

@@ -1,0 +1,238 @@
+package noc
+
+// NI is a network interface: it serializes queued packets into the
+// local router input port flit-by-flit (injection) and reassembles
+// arriving flits into packets for the node (ejection).
+//
+// Injection is queued per traffic class and streamed one packet per
+// virtual channel: with V VCs, up to V packets inject concurrently
+// (one flit per cycle in total — the physical link width), which lets
+// a single node saturate its link despite per-VC credit round trips.
+// The reply-class queue of a memory node is the paper's "injection
+// buffer": when it fills, the memory node blocks. Packets being
+// streamed no longer appear in the queue (their flits are committed to
+// the network), so the Delegated Replies engine only ever delegates
+// replies that have not begun injection.
+type NI struct {
+	net    *Network
+	Node   int
+	router int
+	port   int
+
+	injQ     [2][]*Packet
+	injCap   [2]int
+	streams  []injStream
+	inflight [2]int // streaming packets per class (count toward capacity)
+	rrCls    int
+	rrStream int
+	blocked  [2]bool
+
+	ejBuf  [][]Flit
+	asm    []*Packet
+	asmCap int
+
+	// Handler consumes an ejected packet; returning false leaves the
+	// packet queued and back-pressures the network (node blocking).
+	Handler func(*Packet) bool
+
+	// Statistics.
+	StallCycles    int64
+	InjStallEv     int64
+	EjFlitsByClass [2]int64
+}
+
+// injStream is one packet mid-injection, bound to an input VC.
+type injStream struct {
+	pkt *Packet
+	seq int
+	vc  int
+}
+
+// CanInject reports whether the class has buffer space (queued plus
+// streaming packets).
+func (ni *NI) CanInject(c Class) bool {
+	return len(ni.injQ[c])+ni.inflight[c] < ni.injCap[c]
+}
+
+// InjLen returns the number of buffered packets of a class, including
+// packets currently streaming into the network.
+func (ni *NI) InjLen(c Class) int { return len(ni.injQ[c]) + ni.inflight[c] }
+
+// InjCap returns the class buffer capacity in packets.
+func (ni *NI) InjCap(c Class) int { return ni.injCap[c] }
+
+// Full reports whether the class buffer is at capacity.
+func (ni *NI) Full(c Class) bool { return !ni.CanInject(c) }
+
+// Blocked reports whether the class had a ready packet last cycle but
+// could not push a single flit (the delegation trigger at memory nodes).
+func (ni *NI) Blocked(c Class) bool { return ni.blocked[c] }
+
+// Inject queues a packet on its class queue; it fails when full.
+func (ni *NI) Inject(p *Packet) bool {
+	if !ni.CanInject(p.Class) {
+		return false
+	}
+	p.Enqueued = ni.net.now
+	ni.injQ[p.Class] = append(ni.injQ[p.Class], p)
+	return true
+}
+
+// PeekQueue exposes the queued, not-yet-streaming packets of a class
+// (head first). The Delegated Replies engine scans the reply queue for
+// delegatable replies; any entry may be removed with RemoveQueued.
+func (ni *NI) PeekQueue(c Class) []*Packet { return ni.injQ[c] }
+
+// HeadInProgress reports whether the head queue entry has begun
+// injection. Streaming packets leave the queue, so this is always
+// false; it is retained for API compatibility with callers that guard
+// against removing an in-flight head.
+func (ni *NI) HeadInProgress(Class) bool { return false }
+
+// RemoveQueued removes the packet at index i of the class queue and
+// returns it. Only queued (never streaming) packets are reachable.
+func (ni *NI) RemoveQueued(c Class, i int) *Packet {
+	p := ni.injQ[c][i]
+	ni.injQ[c] = append(ni.injQ[c][:i], ni.injQ[c][i+1:]...)
+	return p
+}
+
+// headReady returns the class's head packet if it is ready to send.
+func (ni *NI) headReady(c int) *Packet {
+	if len(ni.injQ[c]) == 0 {
+		return nil
+	}
+	p := ni.injQ[c][0]
+	if p.ReadyAt > ni.net.now {
+		return nil
+	}
+	return p
+}
+
+// vcFree reports whether an input VC is unclaimed by any stream.
+func (ni *NI) vcFree(vc int) bool {
+	for _, st := range ni.streams {
+		if st.vc == vc {
+			return false
+		}
+	}
+	return true
+}
+
+// startStreams binds ready head packets to free VCs until the stream
+// slots (one per VC) are exhausted.
+func (ni *NI) startStreams() {
+	rtr := ni.net.Routers[ni.router]
+	for tries := 0; tries < 2; tries++ {
+		c := (ni.rrCls + tries) % 2
+		for {
+			pkt := ni.headReady(c)
+			if pkt == nil {
+				break
+			}
+			lo, hi := ni.net.VCRange(pkt.Class)
+			vc := -1
+			for v := lo; v <= hi; v++ {
+				if ni.vcFree(v) && len(rtr.in[ni.port][v].q) < ni.net.bufDepth {
+					vc = v
+					break
+				}
+			}
+			if vc < 0 {
+				break
+			}
+			ni.injQ[c] = ni.injQ[c][1:]
+			ni.inflight[c]++
+			ni.streams = append(ni.streams, injStream{pkt: pkt, vc: vc})
+		}
+	}
+	ni.rrCls = (ni.rrCls + 1) % 2
+}
+
+// tickInject pushes at most one flit (the link width) from the active
+// streams, starting new streams as VCs free up.
+func (ni *NI) tickInject() {
+	ni.blocked = [2]bool{}
+	ni.startStreams()
+	if len(ni.streams) == 0 {
+		return
+	}
+	rtr := ni.net.Routers[ni.router]
+	pushed := false
+	n := len(ni.streams)
+	for i := 0; i < n; i++ {
+		idx := (ni.rrStream + i) % n
+		st := &ni.streams[idx]
+		b := &rtr.in[ni.port][st.vc]
+		if len(b.q) >= ni.net.bufDepth {
+			continue
+		}
+		f := Flit{Pkt: st.pkt, Seq: st.seq}
+		b.q = append(b.q, f)
+		if f.Head() {
+			st.pkt.Injected = ni.net.now
+		}
+		ni.net.InjFlits[st.pkt.Class]++
+		st.seq++
+		if st.seq >= st.pkt.SizeFlits {
+			ni.inflight[st.pkt.Class]--
+			ni.streams = append(ni.streams[:idx], ni.streams[idx+1:]...)
+		}
+		ni.rrStream = idx + 1
+		pushed = true
+		break
+	}
+	if !pushed {
+		// Streams exist but no VC could accept a flit: stalled.
+		for _, st := range ni.streams {
+			ni.blocked[st.pkt.Class] = true
+		}
+		ni.StallCycles++
+		ni.InjStallEv++
+	}
+}
+
+// accept receives a flit from the router's ejection port.
+func (ni *NI) accept(f Flit, vc int) {
+	ni.ejBuf[vc] = append(ni.ejBuf[vc], f)
+	ni.net.EjFlits[f.Pkt.Class]++
+	ni.EjFlitsByClass[f.Pkt.Class]++
+}
+
+// tickEject delivers assembled packets to the node handler and
+// reassembles newly completed packets, returning ejection credits as
+// flits leave the NI buffers.
+func (ni *NI) tickEject() {
+	ni.deliver()
+	if len(ni.asm) >= ni.asmCap {
+		return
+	}
+	rtr := ni.net.Routers[ni.router]
+	for v := range ni.ejBuf {
+		for len(ni.asm) < ni.asmCap {
+			buf := ni.ejBuf[v]
+			if len(buf) == 0 {
+				break
+			}
+			pkt := buf[0].Pkt
+			if len(buf) < pkt.SizeFlits || buf[pkt.SizeFlits-1].Pkt != pkt {
+				break // packet not yet complete on this VC
+			}
+			ni.ejBuf[v] = buf[pkt.SizeFlits:]
+			rtr.out[ni.port].credits[v] += pkt.SizeFlits
+			pkt.Ejected = ni.net.now
+			ni.net.PktLat[pkt.Prio].Add(float64(pkt.Ejected - pkt.Enqueued))
+			ni.asm = append(ni.asm, pkt)
+		}
+	}
+	ni.deliver()
+}
+
+func (ni *NI) deliver() {
+	for len(ni.asm) > 0 {
+		if ni.Handler == nil || !ni.Handler(ni.asm[0]) {
+			return
+		}
+		ni.asm = ni.asm[1:]
+	}
+}

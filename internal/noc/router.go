@@ -1,0 +1,283 @@
+package noc
+
+// vcBuf is the input buffer state of one virtual channel: a flit FIFO
+// plus the routing/allocation state of the packet currently at its front.
+type vcBuf struct {
+	q       []Flit
+	cands   []Candidate
+	outPort int
+	outVC   int
+}
+
+// outPort is the output side of a router port: per-VC downstream
+// credits, per-VC wormhole ownership, and the attached link or NI.
+type outPort struct {
+	credits   []int
+	owner     []int32 // owner key (inPort<<8|inVC) holding the VC, -1 free
+	link      *wire   // inter-router connection (nil otherwise)
+	eject     *NI     // local ejection target (nil otherwise)
+	connected bool    // link or eject present
+	sent      int64   // flits transferred (utilization statistic)
+}
+
+// wire records where an output port's flits are delivered.
+type wire struct {
+	to     int // destination router
+	toPort int
+}
+
+// feeder records where an input port's flits come from, for credit return.
+type feeder struct {
+	r    int
+	port int
+	ok   bool // false for local (NI-fed) or unconnected inputs
+}
+
+const ownerFree = int32(-1)
+
+func ownerKey(port, vc int) int32 { return int32(port<<8 | vc) }
+
+// Router is an input-queued virtual-channel router with credit-based
+// wormhole flow control, per-class VC ranges, and separable switch
+// allocation with CPU-priority arbitration (a one-iteration
+// iSLIP-style allocator with rotating pointers).
+type Router struct {
+	net    *Network
+	ID     int
+	nports int
+	in     [][]vcBuf
+	inFrom []feeder
+	out    []outPort
+
+	saInPtr   []int // per input port: rotating VC pointer
+	saPortPtr int   // rotating input-port pointer (switch allocation)
+	vaOutPtr  []int // per output port: rotating grant pointer (VC allocation)
+
+	// Adaptive routing state (see routing.go).
+	foot map[int]int
+	ewma []float64
+}
+
+func newRouter(net *Network, id, nports, numVCs, bufDepth int) *Router {
+	r := &Router{
+		net:      net,
+		ID:       id,
+		nports:   nports,
+		in:       make([][]vcBuf, nports),
+		inFrom:   make([]feeder, nports),
+		out:      make([]outPort, nports),
+		saInPtr:  make([]int, nports),
+		vaOutPtr: make([]int, nports),
+		ewma:     make([]float64, nports),
+	}
+	for p := 0; p < nports; p++ {
+		r.in[p] = make([]vcBuf, numVCs)
+		for v := 0; v < numVCs; v++ {
+			r.in[p][v] = vcBuf{q: make([]Flit, 0, bufDepth), outPort: -1, outVC: -1}
+		}
+		r.out[p] = outPort{
+			credits: make([]int, numVCs),
+			owner:   make([]int32, numVCs),
+		}
+		for v := range r.out[p].owner {
+			r.out[p].owner[v] = ownerFree
+		}
+	}
+	return r
+}
+
+// acceptFlit places an arriving flit into an input VC buffer. Credits
+// guarantee space; a violation indicates a flow-control bug.
+func (r *Router) acceptFlit(port, vc int, f Flit) {
+	b := &r.in[port][vc]
+	if len(b.q) >= r.net.bufDepth {
+		panic("noc: input buffer overflow (credit accounting bug)")
+	}
+	b.q = append(b.q, f)
+}
+
+// tick runs one router cycle: route computation and VC allocation for
+// waiting heads, then separable switch allocation, then switch/link
+// traversal for the winners.
+func (r *Router) tick() {
+	if r.net.hare {
+		r.updateEWMA()
+	}
+	r.allocateVCs()
+	r.switchAllocAndTraverse()
+}
+
+// allocateVCs performs route computation for new heads, then VC
+// allocation with output-side round-robin arbitration: each free output
+// VC grants to the next requesting input VC past the output port's
+// rotating pointer. Higher priorities allocate first. Input-side
+// iteration orders (fixed or cycle-stepped) are not used because they
+// let persistent flows resonance-lock the allocator and starve traffic
+// turning in from other dimensions at merge routers.
+func (r *Router) allocateVCs() {
+	for p := 0; p < r.nports; p++ {
+		for v := range r.in[p] {
+			b := &r.in[p][v]
+			if len(b.q) == 0 || b.outPort >= 0 || b.cands != nil {
+				continue
+			}
+			head := b.q[0]
+			if !head.Head() {
+				panic("noc: body flit at VC front without allocated route")
+			}
+			b.cands = r.net.topo.Route(r.net, r.ID, head.Pkt)
+		}
+	}
+	// Count waiting heads per priority; skip empty passes (most routers
+	// are idle most cycles).
+	var waiting [3]int
+	for p := 0; p < r.nports; p++ {
+		for v := range r.in[p] {
+			b := &r.in[p][v]
+			if len(b.q) > 0 && b.outPort < 0 && b.cands != nil {
+				waiting[b.q[0].Pkt.Prio]++
+			}
+		}
+	}
+	total := r.nports * r.net.numVCs
+	for prio := int(PrioCPU); prio >= int(PrioGPU); prio-- {
+		if waiting[prio] == 0 {
+			continue
+		}
+		granted := 0
+		for op := 0; op < r.nports; op++ {
+			out := &r.out[op]
+			if !out.connected {
+				continue
+			}
+			for ovc := range out.credits {
+				if out.owner[ovc] != ownerFree || out.credits[ovc] <= 0 {
+					continue
+				}
+				for k := 0; k < total; k++ {
+					idx := (r.vaOutPtr[op] + k) % total
+					p, v := idx/r.net.numVCs, idx%r.net.numVCs
+					b := &r.in[p][v]
+					if len(b.q) == 0 || b.outPort >= 0 || b.cands == nil {
+						continue
+					}
+					if int(b.q[0].Pkt.Prio) != prio {
+						continue
+					}
+					if !covers(b.cands, op, ovc) {
+						continue
+					}
+					out.owner[ovc] = ownerKey(p, v)
+					b.outPort = op
+					b.outVC = ovc
+					r.vaOutPtr[op] = (idx + 1) % total
+					granted++
+					break
+				}
+				if granted == waiting[prio] {
+					break
+				}
+			}
+			if granted == waiting[prio] {
+				break
+			}
+		}
+	}
+}
+
+// covers reports whether any routing candidate permits (port, vc).
+func covers(cands []Candidate, port, vc int) bool {
+	for _, c := range cands {
+		if c.Port == port && vc >= c.VCLo && vc <= c.VCHi {
+			return true
+		}
+	}
+	return false
+}
+
+// switchAllocAndTraverse picks at most one flit per input port and per
+// output port (separable allocation, priority classes first, rotating
+// pointers for fairness within a class) and forwards the winners.
+func (r *Router) switchAllocAndTraverse() {
+	inputUsed := make([]bool, r.nports)
+	outputUsed := make([]bool, r.nports)
+	for prio := int(PrioCPU); prio >= int(PrioGPU); prio-- {
+		for i := 0; i < r.nports; i++ {
+			p := (r.saPortPtr + i) % r.nports
+			if inputUsed[p] {
+				continue
+			}
+			nvc := len(r.in[p])
+			for j := 0; j < nvc; j++ {
+				v := (r.saInPtr[p] + j) % nvc
+				b := &r.in[p][v]
+				if len(b.q) == 0 || b.outPort < 0 {
+					continue
+				}
+				if int(b.q[0].Pkt.Prio) != prio {
+					continue
+				}
+				if outputUsed[b.outPort] {
+					continue
+				}
+				if r.out[b.outPort].credits[b.outVC] <= 0 {
+					continue
+				}
+				outPort := b.outPort
+				r.traverse(p, v, b)
+				inputUsed[p] = true
+				outputUsed[outPort] = true
+				r.saInPtr[p] = (v + 1) % nvc
+				break
+			}
+		}
+	}
+	r.saPortPtr = (r.saPortPtr + 1) % r.nports
+}
+
+// traverse moves the front flit of input VC (p, v) through the crossbar
+// onto its allocated output, returning a credit upstream and releasing
+// the wormhole channel on tails. The caller has verified eligibility.
+func (r *Router) traverse(p, v int, b *vcBuf) {
+	f := b.q[0]
+	b.q = b.q[1:]
+	op := &r.out[b.outPort]
+	op.sent++
+	r.net.flitHops++
+	f.Pkt.Hops++
+
+	if op.link != nil {
+		op.credits[b.outVC]--
+		r.net.schedule(r.net.hopDelay, event{
+			kind: evFlit, router: op.link.to, port: op.link.toPort, vc: b.outVC, flit: f,
+		})
+	} else if op.eject != nil {
+		op.credits[b.outVC]--
+		op.eject.accept(f, b.outVC)
+	}
+
+	// Return a credit to whoever feeds this input port.
+	if fd := r.inFrom[p]; fd.ok {
+		r.net.schedule(r.net.cfg.LinkDelay, event{
+			kind: evCredit, router: fd.r, port: fd.port, vc: v,
+		})
+	}
+
+	if f.Tail() {
+		op.owner[b.outVC] = ownerFree
+		b.outPort, b.outVC = -1, -1
+		b.cands = nil
+	}
+}
+
+// BufferedFlits returns the number of flits currently buffered at the
+// router (for invariant checks and drain detection).
+func (r *Router) BufferedFlits() int {
+	n := 0
+	for p := range r.in {
+		for v := range r.in[p] {
+			n += len(r.in[p][v].q)
+		}
+	}
+	return n
+}

@@ -1,0 +1,256 @@
+package noc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"delrep/internal/config"
+)
+
+func allTopologies() map[string]Topology {
+	pol := MeshPolicy{Alg: config.RoutingCDR, ReqOrder: config.OrderYX, RepOrder: config.OrderXY}
+	return map[string]Topology{
+		"mesh8x8":   NewMesh(8, 8, pol),
+		"mesh10x10": NewMesh(10, 10, pol),
+		"fbfly":     NewFlattenedButterfly(8, 8, config.OrderXY, config.OrderYX),
+		"dragonfly": NewDragonfly(64, 8),
+		"crossbar":  NewCrossbar(64),
+	}
+}
+
+// TestWiringSymmetric verifies that every inter-router connection is
+// bidirectionally consistent: Wire(r,p) = (q,s) implies Wire(q,s) = (r,p).
+func TestWiringSymmetric(t *testing.T) {
+	for name, topo := range allTopologies() {
+		for r := 0; r < topo.NumRouters(); r++ {
+			for p := 0; p < topo.NumPorts(r); p++ {
+				q, s, ok := topo.Wire(r, p)
+				if !ok {
+					continue
+				}
+				if q < 0 || q >= topo.NumRouters() || s < 0 || s >= topo.NumPorts(q) {
+					t.Fatalf("%s: Wire(%d,%d) -> invalid (%d,%d)", name, r, p, q, s)
+				}
+				r2, p2, ok2 := topo.Wire(q, s)
+				if !ok2 || r2 != r || p2 != p {
+					t.Fatalf("%s: Wire(%d,%d)=(%d,%d) but Wire(%d,%d)=(%d,%d,%v)",
+						name, r, p, q, s, q, s, r2, p2, ok2)
+				}
+			}
+		}
+	}
+}
+
+// TestNodePortsUnique verifies every node attaches to a distinct
+// (router, port) and that local ports are not wired.
+func TestNodePortsUnique(t *testing.T) {
+	for name, topo := range allTopologies() {
+		nodes := 64
+		if name == "mesh10x10" {
+			nodes = 100
+		}
+		seen := map[[2]int]bool{}
+		for n := 0; n < nodes; n++ {
+			r, p := topo.NodePort(n)
+			key := [2]int{r, p}
+			if seen[key] {
+				t.Fatalf("%s: node %d shares attach point %v", name, n, key)
+			}
+			seen[key] = true
+			if _, _, ok := topo.Wire(r, p); ok {
+				t.Fatalf("%s: local port (%d,%d) is wired", name, r, p)
+			}
+		}
+	}
+}
+
+// TestMeshDORDelivers walks DOR hop-by-hop and verifies progress to the
+// destination for both dimension orders and all node pairs.
+func TestMeshDORDelivers(t *testing.T) {
+	for _, order := range []config.DimOrder{config.OrderXY, config.OrderYX} {
+		m := NewMesh(8, 8, MeshPolicy{Alg: config.RoutingCDR, ReqOrder: order, RepOrder: order})
+		net := testNetwork(m, 64)
+		for src := 0; src < 64; src += 7 {
+			for dst := 0; dst < 64; dst += 5 {
+				p := &Packet{Src: src, Dst: dst, Class: ClassRequest, SizeFlits: 1}
+				r, _ := m.NodePort(src)
+				dr, _ := m.NodePort(dst)
+				for hops := 0; r != dr; hops++ {
+					if hops > 20 {
+						t.Fatalf("order %v: %d->%d did not converge", order, src, dst)
+					}
+					cands := m.Route(net, r, p)
+					if len(cands) != 1 {
+						t.Fatalf("CDR should be deterministic, got %d candidates", len(cands))
+					}
+					q, _, ok := m.Wire(r, cands[0].Port)
+					if !ok {
+						t.Fatalf("order %v: route to unwired port at router %d", order, r)
+					}
+					r = q
+				}
+				cands := m.Route(net, r, p)
+				_, wantPort := m.NodePort(dst)
+				if cands[0].Port != wantPort {
+					t.Fatalf("at destination router, route = port %d, want local %d", cands[0].Port, wantPort)
+				}
+			}
+		}
+	}
+}
+
+// TestFbflyTwoHops verifies the flattened butterfly needs at most one
+// row hop and one column hop.
+func TestFbflyTwoHops(t *testing.T) {
+	f := NewFlattenedButterfly(8, 8, config.OrderXY, config.OrderYX)
+	net := testNetwork(f, 64)
+	for src := 0; src < 64; src += 3 {
+		for dst := 0; dst < 64; dst += 11 {
+			p := &Packet{Src: src, Dst: dst, Class: ClassRequest, SizeFlits: 1}
+			r, _ := f.NodePort(src)
+			dr, _ := f.NodePort(dst)
+			hops := 0
+			for r != dr {
+				if hops > 2 {
+					t.Fatalf("%d->%d took more than 2 hops", src, dst)
+				}
+				c := f.Route(net, r, p)[0]
+				q, _, ok := f.Wire(r, c.Port)
+				if !ok {
+					t.Fatalf("unwired route at %d", r)
+				}
+				r = q
+				hops++
+			}
+		}
+	}
+}
+
+// TestDragonflyMinimalPath verifies local-global-local routing: at most
+// 3 inter-router hops between any pair.
+func TestDragonflyMinimalPath(t *testing.T) {
+	d := NewDragonfly(64, 8)
+	net := testNetwork(d, 64)
+	for src := 0; src < 64; src += 5 {
+		for dst := 0; dst < 64; dst += 7 {
+			p := &Packet{Src: src, Dst: dst, Class: ClassReply, SizeFlits: 1}
+			r, _ := d.NodePort(src)
+			dr, _ := d.NodePort(dst)
+			hops := 0
+			for r != dr {
+				if hops > 3 {
+					t.Fatalf("%d->%d exceeded 3 hops", src, dst)
+				}
+				c := d.Route(net, r, p)[0]
+				q, _, ok := d.Wire(r, c.Port)
+				if !ok {
+					t.Fatalf("unwired route at router %d port %d (%d->%d)", r, c.Port, src, dst)
+				}
+				r = q
+				hops++
+			}
+		}
+	}
+}
+
+// TestDragonflyGlobalReach verifies every group reaches every other
+// group through exactly one global link.
+func TestDragonflyGlobalReach(t *testing.T) {
+	d := NewDragonfly(64, 8)
+	for g := 0; g < d.Groups; g++ {
+		reached := map[int]bool{}
+		for i := 0; i < d.GroupSize; i++ {
+			if tg := d.globalTarget(g, i); tg >= 0 {
+				if reached[tg] {
+					t.Fatalf("group %d reaches %d twice", g, tg)
+				}
+				reached[tg] = true
+			}
+		}
+		if len(reached) != d.Groups-1 {
+			t.Fatalf("group %d reaches %d groups, want %d", g, len(reached), d.Groups-1)
+		}
+	}
+}
+
+// TestDragonflyVCPhases verifies the VC range splits across the global
+// hop (deadlock avoidance).
+func TestDragonflyVCPhases(t *testing.T) {
+	d := NewDragonfly(64, 8)
+	net := testNetwork(d, 64)
+	p := &Packet{Src: 0, Dst: 63, Class: ClassRequest, SizeFlits: 1}
+	// At the source group the candidate must use the low half.
+	c := d.Route(net, 0, p)
+	if c[0].VCLo != 0 || c[0].VCHi != 0 {
+		t.Fatalf("pre-global VC range [%d,%d], want [0,0]", c[0].VCLo, c[0].VCHi)
+	}
+	// Inside the destination group it must use the high half.
+	r, _ := d.NodePort(56) // same group as 63
+	c = d.Route(net, r, p)
+	if c[0].VCLo != 1 || c[0].VCHi != 1 {
+		t.Fatalf("post-global VC range [%d,%d], want [1,1]", c[0].VCLo, c[0].VCHi)
+	}
+}
+
+// TestCrossbarDirect verifies single-hop routing.
+func TestCrossbarDirect(t *testing.T) {
+	x := NewCrossbar(64)
+	net := testNetwork(x, 64)
+	p := &Packet{Src: 3, Dst: 41, Class: ClassRequest, SizeFlits: 1}
+	c := x.Route(net, 0, p)
+	if len(c) != 1 || c[0].Port != 41 {
+		t.Fatalf("crossbar route = %+v", c)
+	}
+}
+
+// testNetwork builds a minimal network for routing queries.
+func testNetwork(topo Topology, nodes int) *Network {
+	cfg := config.Default().NoC
+	return NewNetwork("test", topo, cfg, nodes, Params{
+		InjCapCore: 4, InjCapMem: 4, EjCap: 16, AsmCap: 2,
+	})
+}
+
+// TestDORPathLengthQuick property: the CDR mesh route walks exactly the
+// Manhattan distance between source and destination.
+func TestDORPathLengthQuick(t *testing.T) {
+	m := NewMesh(8, 8, MeshPolicy{Alg: config.RoutingCDR, ReqOrder: config.OrderYX, RepOrder: config.OrderXY})
+	net := testNetwork(m, 64)
+	f := func(srcRaw, dstRaw uint8, cls bool) bool {
+		src, dst := int(srcRaw)%64, int(dstRaw)%64
+		class := ClassRequest
+		if cls {
+			class = ClassReply
+		}
+		p := &Packet{Src: src, Dst: dst, Class: class, SizeFlits: 1}
+		r, _ := m.NodePort(src)
+		dr, _ := m.NodePort(dst)
+		x0, y0 := r%8, r/8
+		x1, y1 := dr%8, dr/8
+		want := abs(x1-x0) + abs(y1-y0)
+		hops := 0
+		for r != dr {
+			if hops > want {
+				return false
+			}
+			c := m.Route(net, r, p)[0]
+			q, _, ok := m.Wire(r, c.Port)
+			if !ok {
+				return false
+			}
+			r = q
+			hops++
+		}
+		return hops == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,307 @@
+// Package stats provides lightweight counters, samplers, and table
+// formatting used throughout the simulator. All types are plain values
+// designed for single-threaded cycle-driven simulation; none of them
+// are safe for concurrent use.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Counter is a monotonically adjustable event counter.
+type Counter struct {
+	n int64
+}
+
+// Inc adds one to the counter.
+func (c *Counter) Inc() { c.n++ }
+
+// Add adds delta (which may be negative) to the counter.
+func (c *Counter) Add(delta int64) { c.n += delta }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.n }
+
+// Reset sets the counter back to zero.
+func (c *Counter) Reset() { c.n = 0 }
+
+// Sampler accumulates a stream of float64 observations and reports
+// count, mean, min, max, and standard deviation. The zero value is
+// ready to use.
+type Sampler struct {
+	count int64
+	sum   float64
+	sumSq float64
+	min   float64
+	max   float64
+}
+
+// Add records one observation.
+func (s *Sampler) Add(v float64) {
+	if s.count == 0 {
+		s.min, s.max = v, v
+	} else {
+		if v < s.min {
+			s.min = v
+		}
+		if v > s.max {
+			s.max = v
+		}
+	}
+	s.count++
+	s.sum += v
+	s.sumSq += v * v
+}
+
+// Count returns the number of observations recorded.
+func (s *Sampler) Count() int64 { return s.count }
+
+// Sum returns the sum of all observations.
+func (s *Sampler) Sum() float64 { return s.sum }
+
+// Mean returns the arithmetic mean, or 0 if no observations exist.
+func (s *Sampler) Mean() float64 {
+	if s.count == 0 {
+		return 0
+	}
+	return s.sum / float64(s.count)
+}
+
+// Min returns the smallest observation, or 0 if none exist.
+func (s *Sampler) Min() float64 {
+	if s.count == 0 {
+		return 0
+	}
+	return s.min
+}
+
+// Max returns the largest observation, or 0 if none exist.
+func (s *Sampler) Max() float64 {
+	if s.count == 0 {
+		return 0
+	}
+	return s.max
+}
+
+// StdDev returns the population standard deviation.
+func (s *Sampler) StdDev() float64 {
+	if s.count == 0 {
+		return 0
+	}
+	m := s.Mean()
+	v := s.sumSq/float64(s.count) - m*m
+	if v < 0 {
+		v = 0
+	}
+	return math.Sqrt(v)
+}
+
+// Reset discards all observations.
+func (s *Sampler) Reset() { *s = Sampler{} }
+
+// Histogram is a fixed-width bucketed histogram over [0, bucketWidth*len).
+// Values past the last bucket land in the overflow bucket.
+type Histogram struct {
+	width    float64
+	buckets  []int64
+	overflow int64
+	sampler  Sampler
+}
+
+// NewHistogram builds a histogram with n buckets of the given width.
+func NewHistogram(n int, width float64) *Histogram {
+	if n <= 0 {
+		n = 1
+	}
+	if width <= 0 {
+		width = 1
+	}
+	return &Histogram{width: width, buckets: make([]int64, n)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(v float64) {
+	h.sampler.Add(v)
+	if v < 0 {
+		v = 0
+	}
+	i := int(v / h.width)
+	if i >= len(h.buckets) {
+		h.overflow++
+		return
+	}
+	h.buckets[i]++
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 { return h.sampler.Count() }
+
+// Mean returns the mean of the recorded observations.
+func (h *Histogram) Mean() float64 { return h.sampler.Mean() }
+
+// Bucket returns the count in bucket i.
+func (h *Histogram) Bucket(i int) int64 { return h.buckets[i] }
+
+// Overflow returns the overflow-bucket count.
+func (h *Histogram) Overflow() int64 { return h.overflow }
+
+// Percentile returns an approximate p-th percentile (p in [0,100]),
+// using the lower edge of the bucket containing that rank.
+func (h *Histogram) Percentile(p float64) float64 {
+	total := h.sampler.Count()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(p / 100 * float64(total)))
+	if rank <= 0 {
+		rank = 1
+	}
+	var seen int64
+	for i, b := range h.buckets {
+		seen += b
+		if seen >= rank {
+			return float64(i) * h.width
+		}
+	}
+	return float64(len(h.buckets)) * h.width
+}
+
+// Reset discards all observations.
+func (h *Histogram) Reset() {
+	for i := range h.buckets {
+		h.buckets[i] = 0
+	}
+	h.overflow = 0
+	h.sampler.Reset()
+}
+
+// Ratio returns a/b or 0 when b is zero; a convenience for rate metrics.
+func Ratio(a, b int64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+// HarmonicMean returns the harmonic mean of the values; zero or negative
+// values are skipped (they would otherwise dominate or break the mean).
+func HarmonicMean(vs []float64) float64 {
+	var inv float64
+	var n int
+	for _, v := range vs {
+		if v <= 0 {
+			continue
+		}
+		inv += 1 / v
+		n++
+	}
+	if n == 0 || inv == 0 {
+		return 0
+	}
+	return float64(n) / inv
+}
+
+// GeoMean returns the geometric mean of the positive values.
+func GeoMean(vs []float64) float64 {
+	var logSum float64
+	var n int
+	for _, v := range vs {
+		if v <= 0 {
+			continue
+		}
+		logSum += math.Log(v)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(logSum / float64(n))
+}
+
+// Mean returns the arithmetic mean of the values (0 for an empty slice).
+func Mean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range vs {
+		sum += v
+	}
+	return sum / float64(len(vs))
+}
+
+// Table is a simple fixed-column text table used by the experiment
+// driver to print figure/table reproductions.
+type Table struct {
+	title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{title: title, headers: headers}
+}
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.title != "" {
+		b.WriteString(t.title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.headers)
+	sep := make([]string, len(t.headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// SortRows sorts rows lexicographically by the given column index.
+func (t *Table) SortRows(col int) {
+	sort.SliceStable(t.rows, func(i, j int) bool {
+		return t.rows[i][col] < t.rows[j][col]
+	})
+}

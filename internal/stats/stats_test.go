@@ -1,0 +1,188 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	if c.Value() != 0 {
+		t.Fatalf("zero counter = %d", c.Value())
+	}
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	c.Add(-2)
+	if c.Value() != 3 {
+		t.Fatalf("counter = %d, want 3", c.Value())
+	}
+	c.Reset()
+	if c.Value() != 0 {
+		t.Fatalf("reset counter = %d", c.Value())
+	}
+}
+
+func TestSamplerBasics(t *testing.T) {
+	var s Sampler
+	if s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Fatal("empty sampler should report zeros")
+	}
+	for _, v := range []float64{2, 4, 6} {
+		s.Add(v)
+	}
+	if s.Count() != 3 {
+		t.Fatalf("count = %d", s.Count())
+	}
+	if s.Mean() != 4 {
+		t.Fatalf("mean = %v", s.Mean())
+	}
+	if s.Min() != 2 || s.Max() != 6 {
+		t.Fatalf("min/max = %v/%v", s.Min(), s.Max())
+	}
+	want := math.Sqrt(8.0 / 3.0)
+	if math.Abs(s.StdDev()-want) > 1e-9 {
+		t.Fatalf("stddev = %v, want %v", s.StdDev(), want)
+	}
+	s.Reset()
+	if s.Count() != 0 {
+		t.Fatal("reset did not clear")
+	}
+}
+
+func TestSamplerNegativeValues(t *testing.T) {
+	var s Sampler
+	s.Add(-5)
+	s.Add(5)
+	if s.Min() != -5 || s.Max() != 5 || s.Mean() != 0 {
+		t.Fatalf("got min=%v max=%v mean=%v", s.Min(), s.Max(), s.Mean())
+	}
+}
+
+func TestSamplerInvariantsQuick(t *testing.T) {
+	f := func(raw []int32) bool {
+		var s Sampler
+		ok := true
+		for _, v := range raw {
+			s.Add(float64(v))
+		}
+		if s.Count() > 0 {
+			ok = ok && s.Min() <= s.Mean()+1e-6 && s.Mean() <= s.Max()+1e-6
+			ok = ok && s.StdDev() >= 0
+		}
+		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(10, 10)
+	for i := 0; i < 100; i++ {
+		h.Add(float64(i))
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Bucket(0) != 10 {
+		t.Fatalf("bucket 0 = %d", h.Bucket(0))
+	}
+	if h.Overflow() != 0 {
+		t.Fatalf("overflow = %d", h.Overflow())
+	}
+	h.Add(1e9)
+	if h.Overflow() != 1 {
+		t.Fatalf("overflow = %d", h.Overflow())
+	}
+	if p := h.Percentile(50); p < 40 || p > 60 {
+		t.Fatalf("p50 = %v", p)
+	}
+	if p := h.Percentile(99); p < 80 {
+		t.Fatalf("p99 = %v", p)
+	}
+	h.Reset()
+	if h.Count() != 0 || h.Overflow() != 0 {
+		t.Fatal("reset did not clear")
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	h := NewHistogram(4, 1)
+	h.Add(-3)
+	if h.Bucket(0) != 1 {
+		t.Fatal("negative value should land in bucket 0")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(1, 0) != 0 {
+		t.Fatal("ratio with zero denominator must be 0")
+	}
+	if Ratio(3, 4) != 0.75 {
+		t.Fatalf("ratio = %v", Ratio(3, 4))
+	}
+}
+
+func TestMeans(t *testing.T) {
+	vs := []float64{1, 2, 4}
+	if m := Mean(vs); math.Abs(m-7.0/3) > 1e-12 {
+		t.Fatalf("mean = %v", m)
+	}
+	if m := GeoMean(vs); math.Abs(m-2) > 1e-12 {
+		t.Fatalf("geomean = %v", m)
+	}
+	hm := HarmonicMean(vs)
+	want := 3.0 / (1 + 0.5 + 0.25)
+	if math.Abs(hm-want) > 1e-12 {
+		t.Fatalf("hmean = %v, want %v", hm, want)
+	}
+	if Mean(nil) != 0 || GeoMean(nil) != 0 || HarmonicMean(nil) != 0 {
+		t.Fatal("empty means should be 0")
+	}
+	// Non-positive values are skipped.
+	if m := HarmonicMean([]float64{0, -1, 2}); m != 2 {
+		t.Fatalf("hmean with nonpositives = %v", m)
+	}
+}
+
+func TestMeanOrderingQuick(t *testing.T) {
+	// HM <= GM <= AM for positive values.
+	f := func(raw []uint16) bool {
+		var vs []float64
+		for _, v := range raw {
+			vs = append(vs, float64(v)+1)
+		}
+		if len(vs) == 0 {
+			return true
+		}
+		hm, gm, am := HarmonicMean(vs), GeoMean(vs), Mean(vs)
+		return hm <= gm+1e-9 && gm <= am+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTable(t *testing.T) {
+	tb := NewTable("title", "A", "BB")
+	tb.AddRow("x", 1.5)
+	tb.AddRow("longer", "cell")
+	out := tb.String()
+	if !strings.Contains(out, "title") || !strings.Contains(out, "1.500") {
+		t.Fatalf("table output missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	tb.SortRows(0)
+	out2 := tb.String()
+	if strings.Index(out2, "longer") > strings.Index(out2, "x") {
+		t.Fatalf("rows not sorted:\n%s", out2)
+	}
+}
