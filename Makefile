@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test race lint bench all
+
+all: build test lint
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/...
+
+# lint runs the simulator-specific analyzers (mapiter, rngsource,
+# statsdiscipline, tickpurity) and then go vet.
+lint:
+	$(GO) run ./cmd/simlint ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...

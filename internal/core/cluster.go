@@ -260,6 +260,15 @@ func (c *Cluster) setShared(on bool) {
 	}
 }
 
+// ResetStats zeroes the measurement counters (end of warmup).
+func (c *Cluster) ResetStats() {
+	c.Stats = ClusterStats{}
+	for _, sl := range c.slices {
+		sl.cache.ResetStats()
+		sl.mshr.ResetStats()
+	}
+}
+
 // clusterTarget packs a slice request into an MSHR target that
 // remembers which core's warp is waiting.
 func clusterTarget(r sliceReq) mshrTarget {

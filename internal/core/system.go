@@ -454,6 +454,9 @@ func (s *System) ResetStats() {
 	for _, m := range s.Mems {
 		m.ResetStats()
 	}
+	for _, c := range s.Clusters {
+		c.ResetStats()
+	}
 	s.localitySamples, s.localityHits = 0, 0
 	s.locSharedSamples, s.locSharedHits = 0, 0
 	s.locPredSamples, s.locPredHits = 0, 0

@@ -1,0 +1,164 @@
+// Package analysis is a minimal, stdlib-only re-implementation of the
+// parts of the golang.org/x/tools/go/analysis API that simlint needs.
+// The build environment for this repository is offline, so the real
+// framework cannot be vendored; this package keeps the same shape
+// (Analyzer, Pass, Diagnostic) so the analyzers could be ported to a
+// stock multichecker by changing only import paths.
+//
+// Findings can be suppressed with a comment on the flagged line or the
+// line directly above it:
+//
+//	//simlint:ignore mapiter reason for the exception
+//	//simlint:ignore            (suppresses every analyzer)
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //simlint:ignore comments.
+	Name string
+	// Doc is the analyzer's human-readable documentation.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	PkgPath   string
+	TypesInfo *types.Info
+
+	diags    []Diagnostic
+	suppress suppressIndex
+}
+
+// Reportf records a finding unless a //simlint:ignore comment covers it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.suppress.covers(position, p.Analyzer.Name) {
+		return
+	}
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+		Analyzer: p.Analyzer.Name,
+	})
+}
+
+// suppressIndex maps file -> line -> analyzer names suppressed there.
+// An empty name set suppresses every analyzer.
+type suppressIndex map[string]map[int][]string
+
+const ignoreDirective = "simlint:ignore"
+
+func buildSuppressIndex(fset *token.FileSet, files []*ast.File) suppressIndex {
+	idx := suppressIndex{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, ignoreDirective) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, ignoreDirective))
+				// The first token that looks like an analyzer name scopes
+				// the suppression; everything after it is the reason.
+				var names []string
+				if fields := strings.Fields(rest); len(fields) > 0 {
+					names = []string{fields[0]}
+				}
+				pos := fset.Position(c.Pos())
+				if idx[pos.Filename] == nil {
+					idx[pos.Filename] = map[int][]string{}
+				}
+				if names == nil {
+					idx[pos.Filename][pos.Line] = []string{}
+				} else {
+					idx[pos.Filename][pos.Line] = append(idx[pos.Filename][pos.Line], names...)
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// covers reports whether a finding by the named analyzer at position is
+// suppressed by a directive on the same line or the line above.
+func (idx suppressIndex) covers(pos token.Position, analyzer string) bool {
+	lines := idx[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		names, ok := lines[line]
+		if !ok {
+			continue
+		}
+		if len(names) == 0 {
+			return true
+		}
+		for _, n := range names {
+			if n == analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// RunAnalyzers applies each analyzer to the package and returns the
+// combined findings sorted by position.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	suppress := buildSuppressIndex(pkg.Fset, pkg.Syntax)
+	var out []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Syntax,
+			Pkg:       pkg.Types,
+			PkgPath:   pkg.Path,
+			TypesInfo: pkg.Info,
+			suppress:  suppress,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+		}
+		out = append(out, pass.diags...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		pi, pj := pkg.Fset.Position(out[i].Pos), pkg.Fset.Position(out[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out, nil
+}

@@ -1,0 +1,20 @@
+package analysis
+
+import "testing"
+
+func TestSmokeLoadModule(t *testing.T) {
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.Load("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("only %d packages", len(pkgs))
+	}
+	for _, p := range pkgs {
+		t.Logf("%s files=%d", p.Path, len(p.Syntax))
+	}
+}

@@ -1,0 +1,54 @@
+package mapiter
+
+// Sim is a toy per-cycle component with both a map and a slice view of
+// its pending work.
+type Sim struct {
+	table map[int]int
+	keys  []int
+}
+
+// Tick is a hot-path root: everything it reaches is checked.
+func (s *Sim) Tick() {
+	s.step()
+	for _, k := range s.keys { // ok: slice iteration is deterministic
+		_ = k
+	}
+}
+
+func (s *Sim) step() {
+	for k := range s.table { // want `range over map .* nondeterministic`
+		_ = k
+	}
+}
+
+// Cycle demonstrates suppression: the author vouches for the loop.
+func (s *Sim) Cycle() {
+	//simlint:ignore mapiter keys are drained unordered into a set
+	for k := range s.table {
+		delete(s.table, k)
+	}
+}
+
+// Report is cold-path code; map iteration here is fine.
+func (s *Sim) Report() map[int]int {
+	out := map[int]int{}
+	for k, v := range s.table {
+		out[k] = v
+	}
+	return out
+}
+
+// stepper exercises the interface-dispatch approximation: Tick-reachable
+// code calling through an interface reaches same-named methods.
+type stepper interface{ Step() }
+
+type Child struct{ m map[string]bool }
+
+// Step is itself a root name, but it is also reached via the interface.
+func (c *Child) Step() {
+	for k := range c.m { // want `range over map`
+		_ = k
+	}
+}
+
+func Drive(s stepper) { s.Step() }

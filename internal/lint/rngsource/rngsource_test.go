@@ -1,0 +1,12 @@
+package rngsource_test
+
+import (
+	"testing"
+
+	"delrep/internal/lint/analysis/analysistest"
+	"delrep/internal/lint/rngsource"
+)
+
+func TestRNGSource(t *testing.T) {
+	analysistest.Run(t, "testdata", rngsource.Analyzer, "sim/internal/rng", "cmdutil")
+}

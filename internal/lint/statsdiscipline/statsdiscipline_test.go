@@ -1,0 +1,12 @@
+package statsdiscipline_test
+
+import (
+	"testing"
+
+	"delrep/internal/lint/analysis/analysistest"
+	"delrep/internal/lint/statsdiscipline"
+)
+
+func TestStatsDiscipline(t *testing.T) {
+	analysistest.Run(t, "testdata", statsdiscipline.Analyzer, "sd/consumer")
+}

@@ -1,0 +1,20 @@
+// Package stats is a fixture owner package: it declares counters and
+// the reset hook that makes them safe across the warm-up boundary.
+package stats
+
+// NetStats carries link-level counters.
+type NetStats struct {
+	Flits int64
+	Hops  int64
+}
+
+// Inc is the sanctioned mutation path.
+func (s *NetStats) Inc(hops int64) {
+	s.Flits++
+	s.Hops += hops
+}
+
+// ResetStats zeroes the counters at the measurement-window boundary.
+func (s *NetStats) ResetStats() {
+	s.Flits, s.Hops = 0, 0
+}

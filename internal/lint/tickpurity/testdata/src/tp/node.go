@@ -1,0 +1,57 @@
+package tp
+
+import (
+	"fmt"
+	"os"
+	"time"
+)
+
+// Node is a toy per-cycle component.
+type Node struct{ id int }
+
+// Tick is a hot-path root.
+func (n *Node) Tick() {
+	n.work()
+	go n.work() // want `goroutine spawned in per-cycle hot path`
+}
+
+func (n *Node) work() {
+	time.Sleep(time.Millisecond) // want `call to time.Sleep in per-cycle hot path`
+	fmt.Println("cycle", n.id)   // want `call to fmt.Println in per-cycle hot path`
+	n.trace()
+}
+
+// trace is two hops from Tick; the whole os package is banned.
+func (n *Node) trace() {
+	f, _ := os.Create("trace.out") // want `call to os.Create in per-cycle hot path`
+	_ = f
+}
+
+// stamp is reached from Tick and reads the wall clock.
+func (n *Node) stamp() int64 {
+	return time.Now().UnixNano() // want `call to time.Now in per-cycle hot path`
+}
+
+// HandlePacket is also a root: packet handlers run every cycle via
+// function values the call graph cannot see.
+func (n *Node) HandlePacket() bool {
+	_ = n.stamp()
+	return true
+}
+
+// Report runs between measurement windows; I/O is fine here.
+func (n *Node) Report() {
+	fmt.Println("node", n.id)
+	_ = time.Now()
+}
+
+// Sprintf-style pure formatting stays legal in the hot path.
+func (n *Node) label() string {
+	return fmt.Sprintf("node-%d", n.id)
+}
+
+func init() {
+	var n Node
+	_ = n.label()
+	n.Report()
+}

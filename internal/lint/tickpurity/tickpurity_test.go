@@ -1,0 +1,12 @@
+package tickpurity_test
+
+import (
+	"testing"
+
+	"delrep/internal/lint/analysis/analysistest"
+	"delrep/internal/lint/tickpurity"
+)
+
+func TestTickPurity(t *testing.T) {
+	analysistest.Run(t, "testdata", tickpurity.Analyzer, "tp")
+}

@@ -1,0 +1,68 @@
+package stats
+
+import "math"
+
+// fnv64 offset basis and prime (FNV-1a).
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// Digest accumulates a 64-bit FNV-1a hash over typed observations. The
+// determinism-audit harness folds every end-of-run counter and sampler
+// into one Digest per run: two same-seed runs must produce bit-identical
+// sums, so any nondeterminism anywhere in the simulated state surfaces
+// as a one-line digest mismatch. The zero value is ready to use.
+type Digest struct {
+	h    uint64
+	init bool
+}
+
+func (d *Digest) fold(b byte) {
+	if !d.init {
+		d.h = fnvOffset64
+		d.init = true
+	}
+	d.h ^= uint64(b)
+	d.h *= fnvPrime64
+}
+
+// Uint64 folds v into the digest.
+func (d *Digest) Uint64(v uint64) {
+	for i := 0; i < 8; i++ {
+		d.fold(byte(v >> (8 * i)))
+	}
+}
+
+// Int64 folds v into the digest.
+func (d *Digest) Int64(v int64) { d.Uint64(uint64(v)) }
+
+// Float64 folds the exact bit pattern of v into the digest; two runs
+// that differ only in floating-point accumulation order are still a
+// determinism violation.
+func (d *Digest) Float64(v float64) { d.Uint64(math.Float64bits(v)) }
+
+// String folds s into the digest.
+func (d *Digest) String(s string) {
+	for i := 0; i < len(s); i++ {
+		d.fold(s[i])
+	}
+	d.fold(0xff) // terminator: "ab"+"c" != "a"+"bc"
+}
+
+// Sampler folds a sampler's complete internal state into the digest.
+func (d *Digest) Sampler(s *Sampler) {
+	d.Int64(s.count)
+	d.Float64(s.sum)
+	d.Float64(s.sumSq)
+	d.Float64(s.min)
+	d.Float64(s.max)
+}
+
+// Sum64 returns the current hash value.
+func (d *Digest) Sum64() uint64 {
+	if !d.init {
+		return fnvOffset64
+	}
+	return d.h
+}

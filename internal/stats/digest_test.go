@@ -1,0 +1,39 @@
+package stats
+
+import "testing"
+
+func TestDigestDeterministic(t *testing.T) {
+	mk := func() uint64 {
+		var d Digest
+		d.Int64(42)
+		d.Float64(3.25)
+		d.String("scheme=DelegatedReplies")
+		var s Sampler
+		s.Add(1.5)
+		s.Add(-2)
+		d.Sampler(&s)
+		return d.Sum64()
+	}
+	if mk() != mk() {
+		t.Fatal("identical observation streams produced different digests")
+	}
+}
+
+func TestDigestSensitive(t *testing.T) {
+	base := func(v int64) uint64 {
+		var d Digest
+		d.Int64(v)
+		return d.Sum64()
+	}
+	if base(1) == base(2) {
+		t.Fatal("digest did not change with its input")
+	}
+	var a, b Digest
+	a.String("ab")
+	a.String("c")
+	b.String("a")
+	b.String("bc")
+	if a.Sum64() == b.Sum64() {
+		t.Fatal("string framing is ambiguous: ab+c == a+bc")
+	}
+}
