@@ -16,6 +16,7 @@ import (
 
 	"delrep/internal/config"
 	"delrep/internal/core"
+	"delrep/internal/obs"
 	"delrep/internal/workload"
 )
 
@@ -36,6 +37,13 @@ func main() {
 		heatmap  = flag.Bool("heatmap", false, "print link-utilization heatmaps (mesh only)")
 		vcdepth  = flag.Int("vcdepth", 0, "override VC buffer depth in flits")
 		jsonOut  = flag.Bool("json", false, "emit results as JSON")
+
+		metricsOut    = flag.String("metrics-out", "", "write windowed metric time series (.csv extension selects CSV, else JSON)")
+		metricsWindow = flag.Int64("metrics-window", 1000, "metric sampling window in cycles")
+		traceOut      = flag.String("trace-out", "", "write Chrome trace-event JSON of sampled packet lifecycles")
+		traceSample   = flag.Uint64("trace-sample", 64, "trace every Nth packet (with -trace-out)")
+		clogFlag      = flag.Bool("clog", false, "print the clog-detector narrative after the run")
+		clogUtil      = flag.Float64("clog-util", 0.85, "clog-detector port-utilization threshold")
 	)
 	flag.Parse()
 
@@ -125,7 +133,21 @@ func main() {
 	}
 
 	sys := core.NewSystem(cfg, *gpuBench, *cpuBench)
+	var observer *obs.Observer
+	if *metricsOut != "" || *traceOut != "" || *clogFlag {
+		sample := uint64(0)
+		if *traceOut != "" {
+			sample = *traceSample
+		}
+		observer = obs.New(obs.Options{
+			Window:      *metricsWindow,
+			TraceSample: sample,
+			ClogUtil:    *clogUtil,
+		})
+		sys.AttachObserver(observer)
+	}
 	r := sys.RunWorkload()
+	flushObserver(observer, *metricsOut, *traceOut)
 
 	if *jsonOut {
 		out := struct {
@@ -168,9 +190,58 @@ func main() {
 	fmt.Printf("DRAM               bus util %.1f%%  avg lat %.0f\n", 100*r.DRAMBusUtil, r.DRAMAvgLat)
 	fmt.Printf("MSHR               allocs %d merges %d  primary miss %.1f%%\n", r.MSHRAllocs, r.MSHRMerges, 100*r.PrimaryMissRate)
 	fmt.Printf("net transit (GPU)  request %.0f  reply %.0f cycles\n", r.ReqNetLatGPU, r.RepNetLatGPU)
+	lb := r.LoadBreak
+	if lb.Count > 0 {
+		fmt.Printf("load breakdown     queue %.0f  transit %.0f  serialize %.0f  deleg-wait %.0f  service %.0f  (%.1f legs, %.1f hops)\n",
+			lb.QueueAvg, lb.XferAvg, lb.SerAvg, lb.DelegWaitAvg, lb.ServiceAvg, lb.LegsAvg, lb.HopsAvg)
+	}
 
 	if *heatmap {
 		printHeatmaps(sys)
+	}
+	if *clogFlag && observer != nil {
+		fmt.Println()
+		if err := observer.Clog.Narrative(os.Stdout); err != nil {
+			fatalf("writing clog narrative: %v", err)
+		}
+	}
+}
+
+// flushObserver writes the metric and trace files after the run (file
+// I/O stays outside the simulated tick path).
+func flushObserver(o *obs.Observer, metricsOut, traceOut string) {
+	if o == nil {
+		return
+	}
+	if metricsOut != "" {
+		f, err := os.Create(metricsOut)
+		if err != nil {
+			fatalf("creating %s: %v", metricsOut, err)
+		}
+		if strings.HasSuffix(strings.ToLower(metricsOut), ".csv") {
+			err = o.Reg.WriteCSV(f)
+		} else {
+			err = o.Reg.WriteJSON(f)
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fatalf("writing %s: %v", metricsOut, err)
+		}
+	}
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			fatalf("creating %s: %v", traceOut, err)
+		}
+		err = o.WriteTrace(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fatalf("writing %s: %v", traceOut, err)
+		}
 	}
 }
 

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"delrep/internal/config"
+	"delrep/internal/core"
+	"delrep/internal/obs"
+	"delrep/internal/stats"
+)
+
+// breakdown reproduces the Figure-4-style end-to-end load latency
+// attribution: for each scheme, where do the cycles of a GPU load go —
+// waiting in injection queues (the clogging symptom), head-flit transit,
+// tail serialization, waiting stuck before delegation, or node service
+// time. Under Delegated Replies the queue component should collapse
+// while a small deleg-wait component appears in its place.
+func breakdown(r *Runner) {
+	t := stats.NewTable("Latency attribution: avg cycles of a GPU load per phase (Figure 4 analogue)",
+		"GPU bench", "Scheme", "Total", "Queue", "Transit", "Serialize", "DelegWait", "Service", "Hops", "Legs")
+	queueShare := map[config.Scheme][]float64{}
+	for _, g := range r.SubsetBenches() {
+		for _, scheme := range allSchemes {
+			res := r.Run(BaseConfig(scheme), g, PrimaryCPU(g))
+			lb := res.LoadBreak
+			if lb.Count == 0 {
+				continue
+			}
+			t.AddRow(g, scheme.String(), lb.TotalAvg, lb.QueueAvg, lb.XferAvg,
+				lb.SerAvg, lb.DelegWaitAvg, lb.ServiceAvg, lb.HopsAvg, lb.LegsAvg)
+			if lb.TotalAvg > 0 {
+				queueShare[scheme] = append(queueShare[scheme], lb.QueueAvg/lb.TotalAvg)
+			}
+		}
+	}
+	fmt.Println(t)
+	for _, scheme := range allSchemes {
+		fmt.Printf("%-10s queueing share of load latency: %.1f%% (mean)\n",
+			scheme, 100*stats.Mean(queueShare[scheme]))
+	}
+	fmt.Println("paper: reply queueing at the memory nodes dominates baseline load latency; Delegated Replies removes it")
+}
+
+// clogExp reruns the paper's Figure-1 motivation with the online clog
+// detector attached: the baseline memory nodes saturate their reply
+// ports while the reply queue keeps growing, and Delegated Replies makes
+// the episodes disappear.
+func clogExp(r *Runner) {
+	for _, scheme := range []config.Scheme{config.SchemeBaseline, config.SchemeDelegatedReplies} {
+		cfg := BaseConfig(scheme)
+		cfg.WarmupCycles = r.Warm
+		cfg.MeasureCycles = r.Measure
+		cfg.Seed = r.Seed
+		gpu, cpu := "2DCON", PrimaryCPU("2DCON")
+		fmt.Fprintf(os.Stderr, "  run %-5s + %-12s %s (observed)...\n", gpu, cpu, cfg.Scheme)
+		sys := core.NewSystem(cfg, gpu, cpu)
+		o := obs.New(obs.Options{Window: 500, ClogUtil: 0.5})
+		sys.AttachObserver(o)
+		res := sys.RunWorkload()
+		r.runs++
+		fmt.Printf("--- %s (%s + %s) ---\n", cfg.Scheme, gpu, cpu)
+		fmt.Printf("GPU IPC %.2f  mem blocked %.1f%%  reply-link util %.1f%%  delegations %d\n",
+			res.GPUIPC, 100*res.MemBlockedRate, 100*res.MemReplyLinkUtil, res.Delegations)
+		if err := o.Clog.Narrative(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "expdriver: clog narrative: %v\n", err)
+		}
+		fmt.Println()
+	}
+	fmt.Println("paper: Figure 1 — memory-node reply ports clog under the baseline; Delegated Replies drains them")
+}

@@ -47,6 +47,8 @@ func experiments() []experiment {
 		{"fig17", "GPU performance across chip layouts", fig17},
 		{"fig18", "CPU performance across chip layouts", fig18},
 		{"fig19", "sensitivity: L1/LLC size, NoC bandwidth, VCs, nodes, buffers", fig19},
+		{"breakdown", "load latency attribution by phase (Figure 4 analogue)", breakdown},
+		{"clog", "Figure-1 clog-detector narrative: baseline vs Delegated Replies", clogExp},
 		{"nodemix", "CPU/GPU/memory node mix study", nodeMix},
 		{"ablation", "Delegated Replies design-space ablations", ablation},
 		{"energy", "NoC dynamic energy and system energy", energy},

@@ -140,17 +140,17 @@ func (c *Cluster) ServeRemote(g *GPUCore, m *Msg) bool {
 			return false
 		}
 		g.Stats.FRQRemoteHits++
-		g.send(&Msg{Type: MsgReply, Line: m.Line, Requester: m.Requester, Kind: ReplyRemoteHit, Born: m.Born},
+		g.send(&Msg{Type: MsgReply, Line: m.Line, Requester: m.Requester, Kind: ReplyRemoteHit, Born: m.Born, Acct: m.Acct},
 			m.Requester, noc.ClassReply, noc.PrioGPU, g.sys.gpuReplyFlits)
 		return true
 	}
 	if _, out := sl.mshr.Lookup(m.Line); out {
-		sl.mshr.Merge(m.Line, mshrTarget{Warp: -1, Remote: m.Requester, Born: m.Born})
+		sl.mshr.Merge(m.Line, mshrTarget{Warp: -1, Remote: m.Requester, Born: m.Born, Acct: m.Acct})
 		g.Stats.FRQDelayedHits++
 		return true
 	}
 	g.Stats.FRQRemoteMisses++
-	g.sendLLCRead(m.Line, m.Requester, true, m.Born)
+	g.sendLLCRead(m.Line, m.Requester, true, m.Born, m.Acct)
 	return true
 }
 
@@ -169,7 +169,7 @@ func (c *Cluster) HandleFill(host *GPUCore, m *Msg) (handled, done bool) {
 			tgt.owner.SM.LoadDone(tgt.Warp)
 		}
 		if tgt.Remote >= 0 {
-			host.send(&Msg{Type: MsgReply, Line: m.Line, Requester: tgt.Remote, Kind: ReplyRemoteHit, Born: tgt.Born},
+			host.send(&Msg{Type: MsgReply, Line: m.Line, Requester: tgt.Remote, Kind: ReplyRemoteHit, Born: tgt.Born, Acct: tgt.Acct},
 				tgt.Remote, noc.ClassReply, noc.PrioGPU, host.sys.gpuReplyFlits)
 		}
 	}
@@ -212,7 +212,7 @@ func (c *Cluster) serveSlice(sl *slice) {
 	}
 	c.sys.sampleLocality(req.core, req.line)
 	sl.mshr.Allocate(req.line, clusterTarget(req))
-	sl.host.sendLLCRead(req.line, sl.host.Node, false, c.sys.cycle)
+	sl.host.sendLLCRead(req.line, sl.host.Node, false, c.sys.cycle, NetAcct{})
 	sl.q = sl.q[1:]
 }
 

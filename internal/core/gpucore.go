@@ -21,6 +21,7 @@ type mshrTarget struct {
 	Warp   int
 	Remote int
 	Born   int64
+	Acct   NetAcct
 	owner  *GPUCore
 }
 
@@ -150,7 +151,7 @@ func (g *GPUCore) accessPrivate(line cache.Addr, write bool, warp int) gpu.Acces
 	if g.sys.isRP() && g.predictProbe() {
 		g.sendProbes(line)
 	} else {
-		g.sendLLCRead(line, g.Node, false, g.sys.cycle)
+		g.sendLLCRead(line, g.Node, false, g.sys.cycle, NetAcct{})
 	}
 	return gpu.AccessMiss
 }
@@ -172,12 +173,12 @@ func (g *GPUCore) writeThrough(line cache.Addr) gpu.AccessResult {
 
 // sendLLCRead issues a read request to the line's memory node on behalf
 // of requester (which differs from g.Node on the DNF remote-miss path).
-func (g *GPUCore) sendLLCRead(line cache.Addr, requester int, dnf bool, born int64) {
+func (g *GPUCore) sendLLCRead(line cache.Addr, requester int, dnf bool, born int64, acct NetAcct) {
 	prio := noc.PrioGPU
 	if dnf {
 		prio = noc.PrioRemote
 	}
-	g.send(&Msg{Type: MsgGPURead, Line: line, Requester: requester, DNF: dnf, Born: born},
+	g.send(&Msg{Type: MsgGPURead, Line: line, Requester: requester, DNF: dnf, Born: born, Acct: acct},
 		g.sys.memNodeFor(line), noc.ClassRequest, prio, 1)
 }
 
@@ -199,6 +200,7 @@ func (g *GPUCore) repFree() int { return outboxCap - len(g.outRep) }
 // queued at the NI (back-pressure).
 func (g *GPUCore) HandlePacket(p *noc.Packet) bool {
 	m := p.Payload.(*Msg)
+	m.absorbPacket(p)
 	switch m.Type {
 	case MsgDelegated:
 		for _, q := range g.frq {
@@ -239,10 +241,10 @@ func (g *GPUCore) handleProbe(m *Msg) bool {
 	g.budget--
 	hit := g.probeLocal(m.Line)
 	if hit {
-		g.send(&Msg{Type: MsgReply, Line: m.Line, Requester: m.Requester, Kind: ReplyProbeHit, Born: m.Born},
+		g.send(&Msg{Type: MsgReply, Line: m.Line, Requester: m.Requester, Kind: ReplyProbeHit, Born: m.Born, Acct: m.Acct},
 			m.Requester, noc.ClassReply, noc.PrioGPU, g.sys.gpuReplyFlits)
 	} else {
-		g.send(&Msg{Type: MsgProbeNack, Line: m.Line, Requester: m.Requester},
+		g.send(&Msg{Type: MsgProbeNack, Line: m.Line, Requester: m.Requester, Born: m.Born, Acct: m.Acct},
 			m.Requester, noc.ClassReply, noc.PrioGPU, 1)
 	}
 	return true
@@ -269,7 +271,7 @@ func (g *GPUCore) handleProbeNack(m *Msg) bool {
 		// The fallback must not block reply-network ejection (protocol
 		// deadlock); outboxes accept handler-side pushes unconditionally.
 		g.Stats.ProbeFallback++
-		g.sendLLCRead(m.Line, g.Node, false, m.Born)
+		g.sendLLCRead(m.Line, g.Node, false, m.Born, m.Acct)
 		ps.got = true
 		g.updateRP(false) // the whole episode missed: train once
 	}
@@ -304,6 +306,7 @@ func (g *GPUCore) handleReply(m *Msg) bool {
 	}
 	g.countReply(m.Kind)
 	g.sys.recordLoadLat(m.Kind, g.sys.cycle-m.Born)
+	g.sys.recordLoadBreak(m.Kind, g.sys.cycle-m.Born, &m.Acct)
 	g.fillAndWake(m.Line)
 	return true
 }
@@ -319,7 +322,7 @@ func (g *GPUCore) fillAndWake(line cache.Addr) {
 		}
 		if tgt.Remote >= 0 {
 			g.Stats.FRQDelayedHits++
-			g.send(&Msg{Type: MsgReply, Line: line, Requester: tgt.Remote, Kind: ReplyRemoteHit, Born: tgt.Born},
+			g.send(&Msg{Type: MsgReply, Line: line, Requester: tgt.Remote, Kind: ReplyRemoteHit, Born: tgt.Born, Acct: tgt.Acct},
 				tgt.Remote, noc.ClassReply, noc.PrioGPU, g.sys.gpuReplyFlits)
 		}
 	}
@@ -386,19 +389,19 @@ func (g *GPUCore) serveFRQ() {
 				return
 			}
 			g.Stats.FRQRemoteHits++
-			g.send(&Msg{Type: MsgReply, Line: m.Line, Requester: m.Requester, Kind: ReplyRemoteHit, Born: m.Born},
+			g.send(&Msg{Type: MsgReply, Line: m.Line, Requester: m.Requester, Kind: ReplyRemoteHit, Born: m.Born, Acct: m.Acct},
 				m.Requester, noc.ClassReply, noc.PrioGPU, g.sys.gpuReplyFlits)
 		default:
 			if _, out := g.mshr.Lookup(m.Line); out {
 				// Delayed hit: forward when the fill returns.
-				g.mshr.Merge(m.Line, mshrTarget{Warp: -1, Remote: m.Requester, Born: m.Born})
+				g.mshr.Merge(m.Line, mshrTarget{Warp: -1, Remote: m.Requester, Born: m.Born, Acct: m.Acct})
 			} else {
 				// Remote miss: the DNF re-send must not wait on outbox
 				// space — stalling the FRQ here wedges the delegated
 				// path (FRQ full -> ejection refused -> request network
 				// backed up -> memory nodes unable to delegate).
 				g.Stats.FRQRemoteMisses++
-				g.sendLLCRead(m.Line, m.Requester, true, m.Born)
+				g.sendLLCRead(m.Line, m.Requester, true, m.Born, m.Acct)
 			}
 		}
 		g.budget--
@@ -424,14 +427,14 @@ func (g *GPUCore) serveMerged(head *Msg) {
 		switch {
 		case hit:
 			g.Stats.FRQRemoteHits++
-			g.send(&Msg{Type: MsgReply, Line: m.Line, Requester: m.Requester, Kind: ReplyRemoteHit, Born: m.Born},
+			g.send(&Msg{Type: MsgReply, Line: m.Line, Requester: m.Requester, Kind: ReplyRemoteHit, Born: m.Born, Acct: m.Acct},
 				m.Requester, noc.ClassReply, noc.PrioGPU, g.sys.gpuReplyFlits)
 		default:
 			if _, out := g.mshr.Lookup(m.Line); out {
-				g.mshr.Merge(m.Line, mshrTarget{Warp: -1, Remote: m.Requester, Born: m.Born})
+				g.mshr.Merge(m.Line, mshrTarget{Warp: -1, Remote: m.Requester, Born: m.Born, Acct: m.Acct})
 			} else {
 				g.Stats.FRQRemoteMisses++
-				g.sendLLCRead(m.Line, m.Requester, true, m.Born)
+				g.sendLLCRead(m.Line, m.Requester, true, m.Born, m.Acct)
 			}
 		}
 	}
@@ -466,7 +469,7 @@ func (g *GPUCore) sendProbes(line cache.Addr) {
 		n = len(g.probeTargets)
 	}
 	if n == 0 || g.reqFree() < n {
-		g.sendLLCRead(line, g.Node, false, g.sys.cycle)
+		g.sendLLCRead(line, g.Node, false, g.sys.cycle, NetAcct{})
 		return
 	}
 	g.rpPending[line] = &probeState{awaiting: n}

@@ -22,6 +22,7 @@ type replyTarget struct {
 	Node int
 	CPU  bool
 	Born int64
+	Acct NetAcct
 }
 
 // MemNode is one memory node: an LLC slice whose lines carry a core
@@ -87,6 +88,7 @@ func auxOf(node int) uint32 { return uint32(node + 1) }
 // NoC (the memory node is blocked).
 func (m *MemNode) HandlePacket(p *noc.Packet) bool {
 	msg := p.Payload.(*Msg)
+	msg.absorbPacket(p)
 	switch msg.Type {
 	case MsgGPURead, MsgCPURead:
 		return m.handleRead(msg)
@@ -122,7 +124,7 @@ func (m *MemNode) handleRead(msg *Msg) bool {
 		if !isCPU {
 			m.llc.SetAux(msg.Line, auxOf(msg.Requester))
 		}
-		m.injectReply(msg.Line, msg.Requester, isCPU, kind, sharer, msg.DNF, msg.Born)
+		m.injectReply(msg.Line, msg.Requester, isCPU, kind, sharer, msg.DNF, msg.Born, msg.Acct)
 		return true
 	}
 	// LLC miss: allocate an MSHR and go to DRAM.
@@ -131,7 +133,7 @@ func (m *MemNode) handleRead(msg *Msg) bool {
 		m.Stats.Requests++
 		m.Stats.LLCMisses++
 		m.llc.Lookup(msg.Line)
-		m.mshr.Merge(msg.Line, replyTarget{Node: msg.Requester, CPU: isCPU, Born: msg.Born})
+		m.mshr.Merge(msg.Line, replyTarget{Node: msg.Requester, CPU: isCPU, Born: msg.Born, Acct: msg.Acct})
 		return true
 	}
 	if m.mshr.FullNow() || !m.mc.CanAccept() || len(m.wbQ) >= wbQCap {
@@ -142,7 +144,7 @@ func (m *MemNode) handleRead(msg *Msg) bool {
 	m.Stats.Requests++
 	m.Stats.LLCMisses++
 	m.llc.Lookup(msg.Line)
-	m.mshr.Allocate(msg.Line, replyTarget{Node: msg.Requester, CPU: isCPU, Born: msg.Born})
+	m.mshr.Allocate(msg.Line, replyTarget{Node: msg.Requester, CPU: isCPU, Born: msg.Born, Acct: msg.Acct})
 	m.mc.Enqueue(&dram.Request{Line: msg.Line, Arrived: m.sys.cycle})
 	return true
 }
@@ -175,7 +177,7 @@ func (m *MemNode) handleWrite(msg *Msg) bool {
 	m.Stats.Requests++
 	m.Stats.Writes++
 	ack := m.sys.newPacket(m.Node, msg.Requester, noc.ClassReply, noc.PrioGPU, 1,
-		&Msg{Type: MsgWriteAck, Line: msg.Line, Requester: msg.Requester})
+		&Msg{Type: MsgWriteAck, Line: msg.Line, Requester: msg.Requester, Acct: msg.Acct})
 	ack.ReadyAt = m.sys.cycle + int64(m.sys.Cfg.LLC.Latency)
 	repNI.Inject(ack)
 	return true
@@ -189,14 +191,14 @@ func (m *MemNode) refuse() {
 }
 
 // injectReply builds and queues a data reply. Callers verified space.
-func (m *MemNode) injectReply(line cache.Addr, dst int, isCPU bool, kind ReplyKind, sharer int, dnf bool, born int64) {
+func (m *MemNode) injectReply(line cache.Addr, dst int, isCPU bool, kind ReplyKind, sharer int, dnf bool, born int64, acct NetAcct) {
 	flits := m.sys.gpuReplyFlits
 	prio := noc.PrioGPU
 	if isCPU {
 		flits = m.sys.cpuReplyFlits
 		prio = noc.PrioCPU
 	}
-	msg := &Msg{Type: MsgReply, Line: line, Requester: dst, Kind: kind, Sharer: sharer, DNF: dnf, Born: born}
+	msg := &Msg{Type: MsgReply, Line: line, Requester: dst, Kind: kind, Sharer: sharer, DNF: dnf, Born: born, Acct: acct}
 	p := m.sys.newPacket(m.Node, dst, noc.ClassReply, prio, flits, msg)
 	p.ReadyAt = m.sys.cycle + int64(m.sys.Cfg.LLC.Latency)
 	m.sys.repNI(m.Node).Inject(p)
@@ -248,7 +250,7 @@ func (m *MemNode) drainCompletions() {
 		}
 		for _, t := range m.mshr.Release(r.Line) {
 			tgt := t.(replyTarget)
-			m.injectReply(r.Line, tgt.Node, tgt.CPU, ReplyDRAM, -1, false, tgt.Born)
+			m.injectReply(r.Line, tgt.Node, tgt.CPU, ReplyDRAM, -1, false, tgt.Born, tgt.Acct)
 		}
 		m.compQ = m.compQ[1:]
 	}
@@ -288,11 +290,21 @@ func (m *MemNode) delegate() {
 		if !reqNI.CanInject(noc.ClassRequest) {
 			return
 		}
-		repNI.RemoveQueued(noc.ClassReply, i)
+		stuck := repNI.RemoveQueued(noc.ClassReply, i)
 		q = repNI.PeekQueue(noc.ClassReply)
 		i--
+		acct := msg.Acct
+		wStart := stuck.Enqueued
+		if stuck.ReadyAt > wStart {
+			wStart = stuck.ReadyAt
+		}
+		if w := m.sys.cycle - wStart; w > 0 {
+			acct.DelegWait += w
+		}
+		acct.Delegs++
 		d := m.sys.newPacket(m.Node, msg.Sharer, noc.ClassRequest, noc.PrioRemote, 1,
-			&Msg{Type: MsgDelegated, Line: msg.Line, Requester: msg.Requester, Sharer: msg.Sharer, Born: msg.Born})
+			&Msg{Type: MsgDelegated, Line: msg.Line, Requester: msg.Requester, Sharer: msg.Sharer, Born: msg.Born, Acct: acct})
+		m.sys.noteDelegated(stuck, d)
 		reqNI.Inject(d)
 		m.Stats.Delegations++
 		budget--

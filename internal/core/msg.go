@@ -7,6 +7,7 @@ package core
 
 import (
 	"delrep/internal/cache"
+	"delrep/internal/noc"
 )
 
 // MsgType enumerates the protocol messages carried as packet payloads.
@@ -80,6 +81,67 @@ const (
 	ReplyProbeHit
 )
 
+func (k ReplyKind) String() string {
+	switch k {
+	case ReplyLLCHit:
+		return "LLCHit"
+	case ReplyDRAM:
+		return "DRAM"
+	case ReplyRemoteHit:
+		return "RemoteHit"
+	case ReplyRemoteMiss:
+		return "RemoteMiss"
+	case ReplyProbeHit:
+		return "ProbeHit"
+	}
+	return "???"
+}
+
+// NetAcct accumulates where a transaction's cycles went across every
+// network leg it traversed (request, delegation, DNF re-request,
+// reply). The residual of the end-to-end latency not covered here is
+// node service time (LLC pipeline, DRAM, FRQ wait). Measurement-only:
+// it never influences behaviour.
+type NetAcct struct {
+	Queue     int64 // cycles waiting in source injection queues (+ ReadyAt delay)
+	Xfer      int64 // head-flit network transit cycles, injection to ejection
+	Ser       int64 // tail serialization cycles beyond the head (SizeFlits-1 per leg)
+	DelegWait int64 // cycles stuck replies sat queued before being delegated
+	Hops      int   // router traversals summed over legs
+	Legs      int   // network legs traversed
+	Delegs    int   // delegations performed on this transaction
+}
+
+// Absorb folds one completed network leg into the account. Packet
+// head-flit transit is Injected..Ejected minus the tail flits that
+// eject after the head ((SizeFlits-1) serialization cycles).
+// Packet.Hops counts per-flit traversals, so router hops are
+// Hops/SizeFlits (exact: wormhole routing sends every flit of a packet
+// over the same path).
+func (a *NetAcct) Absorb(p *noc.Packet) {
+	if p.SizeFlits <= 0 {
+		return // synthetic packet (tests); nothing to attribute
+	}
+	start := p.Enqueued
+	if p.ReadyAt > start {
+		start = p.ReadyAt
+	}
+	ser := int64(p.SizeFlits - 1)
+	// NetAcct is per-transaction state that dies with its Msg; there is
+	// no run-level total to clear at the warm-up boundary (loadBreak,
+	// which aggregates completed accounts, is reset by ResetStats).
+	//simlint:ignore statsdiscipline per-message accumulator, not a run counter
+	a.Queue += p.Injected - start
+	//simlint:ignore statsdiscipline per-message accumulator, not a run counter
+	a.Xfer += p.Ejected - p.Injected - ser
+	//simlint:ignore statsdiscipline per-message accumulator, not a run counter
+	a.Ser += ser
+	//simlint:ignore statsdiscipline per-message accumulator, not a run counter
+	a.Hops += p.Hops / p.SizeFlits
+	//simlint:ignore statsdiscipline per-message accumulator, not a run counter
+	a.Legs++
+}
+
 // Msg is the payload of every packet in the system.
 type Msg struct {
 	Type MsgType
@@ -100,4 +162,23 @@ type Msg struct {
 	// Born is the cycle the original load was issued, carried through
 	// the delegation chain for end-to-end latency accounting.
 	Born int64
+	// Acct carries the transaction's network-latency breakdown across
+	// legs (copied into every derived message).
+	Acct NetAcct
+
+	// acctDone guards against double-absorbing the carrying packet
+	// when a refused handler re-sees it next cycle.
+	acctDone bool
+}
+
+// absorbPacket folds the carrying packet's just-completed network leg
+// into the message's account, exactly once. Handlers call it on entry:
+// a handler that refuses a packet (back-pressure) sees it again, so
+// the guard keeps re-deliveries from double-counting.
+func (m *Msg) absorbPacket(p *noc.Packet) {
+	if m.acctDone {
+		return
+	}
+	m.acctDone = true
+	m.Acct.Absorb(p)
 }

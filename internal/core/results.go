@@ -26,6 +26,44 @@ func (b Breakdown) RemoteHitFrac() float64 {
 	return stats.Ratio(b.RemoteHit, b.RemoteHit+b.RemoteMiss)
 }
 
+// LatBreak is the per-load latency attribution (the paper's Figure 4
+// story): where the cycles of a GPU load's end-to-end latency went.
+// Averages are per completed load; ServiceAvg is the residual not
+// spent in the network or delegation wait (LLC pipeline, DRAM, FRQ
+// service at the remote core).
+type LatBreak struct {
+	Count        int64
+	TotalAvg     float64 // end-to-end cycles
+	QueueAvg     float64 // source injection-queue wait, summed over legs
+	XferAvg      float64 // head-flit network transit, summed over legs
+	SerAvg       float64 // tail serialization beyond the head
+	DelegWaitAvg float64 // time stuck in reply buffers before delegation
+	ServiceAvg   float64 // residual: node service time
+	HopsAvg      float64 // router traversals per load
+	LegsAvg      float64 // network legs per load
+	DelegFrac    float64 // delegations per load
+}
+
+func (s *System) latBreak(b *breakAcc) LatBreak {
+	if b.n == 0 {
+		return LatBreak{}
+	}
+	n := float64(b.n)
+	lb := LatBreak{
+		Count:        b.n,
+		TotalAvg:     float64(b.total) / n,
+		QueueAvg:     float64(b.queue) / n,
+		XferAvg:      float64(b.xfer) / n,
+		SerAvg:       float64(b.ser) / n,
+		DelegWaitAvg: float64(b.delegWait) / n,
+		HopsAvg:      float64(b.hops) / n,
+		LegsAvg:      float64(b.legs) / n,
+		DelegFrac:    float64(b.delegs) / n,
+	}
+	lb.ServiceAvg = float64(b.total-b.queue-b.xfer-b.ser-b.delegWait) / n
+	return lb
+}
+
 // Results summarises one measured simulation window.
 type Results struct {
 	Cycles int64
@@ -63,6 +101,11 @@ type Results struct {
 	LatRemoteHit  float64
 	LatRemoteMiss float64
 	GPULoadLatAvg float64
+
+	// Latency attribution across all completed GPU loads and per reply
+	// kind (indexed by ReplyKind).
+	LoadBreak       LatBreak
+	LoadBreakByKind [5]LatBreak
 
 	// DRAM.
 	DRAMBusUtil float64
@@ -160,6 +203,21 @@ func (s *System) Collect() Results {
 	if n > 0 {
 		r.GPULoadLatAvg = sum / float64(n)
 	}
+	var all breakAcc
+	for i := range s.loadBreak {
+		b := &s.loadBreak[i]
+		r.LoadBreakByKind[i] = s.latBreak(b)
+		all.n += b.n
+		all.total += b.total
+		all.queue += b.queue
+		all.xfer += b.xfer
+		all.ser += b.ser
+		all.delegWait += b.delegWait
+		all.hops += b.hops
+		all.legs += b.legs
+		all.delegs += b.delegs
+	}
+	r.LoadBreak = s.latBreak(&all)
 
 	var busy, served, dlat int64
 	for _, m := range s.Mems {

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"delrep/internal/config"
+	"delrep/internal/stats"
+)
+
+func TestBreakdownHelpers(t *testing.T) {
+	b := Breakdown{LLCDirect: 60, RemoteHit: 30, RemoteMiss: 10}
+	if b.Total() != 100 {
+		t.Fatalf("total = %d", b.Total())
+	}
+	if got := b.ForwardedFrac(); math.Abs(got-0.4) > 1e-12 {
+		t.Fatalf("forwarded frac = %v", got)
+	}
+	if got := b.RemoteHitFrac(); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("remote hit frac = %v", got)
+	}
+	var zero Breakdown
+	if zero.ForwardedFrac() != 0 || zero.RemoteHitFrac() != 0 {
+		t.Fatal("zero breakdown must not divide by zero")
+	}
+}
+
+func TestCombineMeans(t *testing.T) {
+	var a, b stats.Sampler
+	if combineMeans(&a, &b) != 0 {
+		t.Fatal("empty samplers must combine to 0")
+	}
+	a.Add(10)
+	a.Add(20)
+	b.Add(40)
+	if got := combineMeans(&a, &b); math.Abs(got-70.0/3) > 1e-12 {
+		t.Fatalf("combined mean = %v, want %v", got, 70.0/3)
+	}
+	// One-sided combination degenerates to the non-empty mean.
+	var empty stats.Sampler
+	if got := combineMeans(&a, &empty); got != a.Mean() {
+		t.Fatalf("one-sided combine = %v, want %v", got, a.Mean())
+	}
+}
+
+func TestCollectZeroWindow(t *testing.T) {
+	// Collect before any measured cycle must return an all-zero result
+	// rather than dividing by a zero window.
+	sys := NewSystem(shortCfg(config.SchemeBaseline), "HS", "vips")
+	r := sys.Collect()
+	if r.Cycles != 0 {
+		t.Fatalf("cycles = %d", r.Cycles)
+	}
+	if r.GPUIPC != 0 || r.MemBlockedRate != 0 || r.CPUThroughput != 0 {
+		t.Fatal("zero-window collect produced non-zero rates")
+	}
+	if r.LoadBreak.Count != 0 {
+		t.Fatal("zero-window collect attributed loads")
+	}
+}
+
+func TestCollectInvariants(t *testing.T) {
+	r := runShort(t, shortCfg(config.SchemeDelegatedReplies), "2DCON", "dedup")
+	if r.Cycles <= 0 {
+		t.Fatal("no cycles measured")
+	}
+	for name, v := range map[string]float64{
+		"L1MissRate":       r.L1MissRate,
+		"MemBlockedRate":   r.MemBlockedRate,
+		"LLCHitRate":       r.LLCHitRate,
+		"MemReplyLinkUtil": r.MemReplyLinkUtil,
+		"DRAMBusUtil":      r.DRAMBusUtil,
+		"PrimaryMissRate":  r.PrimaryMissRate,
+	} {
+		if v < 0 || v > 1 || math.IsNaN(v) {
+			t.Fatalf("%s = %v, outside [0,1]", name, v)
+		}
+	}
+	if r.GPUInsts <= 0 || r.GPUIPC <= 0 {
+		t.Fatalf("GPU made no progress: insts=%d ipc=%v", r.GPUInsts, r.GPUIPC)
+	}
+	if r.LoadBreak.Count == 0 {
+		t.Fatal("no loads attributed")
+	}
+	if r.GPULoadLatAvg <= 0 || math.Abs(r.LoadBreak.TotalAvg-r.GPULoadLatAvg) > 1e-6 {
+		t.Fatalf("attribution total %v disagrees with load latency %v",
+			r.LoadBreak.TotalAvg, r.GPULoadLatAvg)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"delrep/internal/cpu"
 	"delrep/internal/gpu"
 	"delrep/internal/noc"
+	"delrep/internal/obs"
 	"delrep/internal/stats"
 	"delrep/internal/workload"
 )
@@ -55,7 +56,57 @@ type System struct {
 	// End-to-end GPU load latency by reply kind (diagnostics).
 	loadLat [5]stats.Sampler
 
+	// Per-reply-kind latency attribution sums (queueing vs transit vs
+	// serialization vs delegation overhead), fed by NetAcct.
+	loadBreak [5]breakAcc
+
+	// obs, when non-nil, is the attached observability layer (see
+	// AttachObserver). Strictly measurement-only.
+	obs *obs.Observer
+
 	nextFlush int64
+}
+
+// breakAcc accumulates latency-attribution sums for one reply kind.
+type breakAcc struct {
+	n         int64
+	total     int64
+	queue     int64
+	xfer      int64
+	ser       int64
+	delegWait int64
+	hops      int64
+	legs      int64
+	delegs    int64
+}
+
+// recordLoadBreak attributes a completed GPU load's latency across its
+// network legs (the Figure-4 breakdown).
+func (s *System) recordLoadBreak(kind ReplyKind, cycles int64, a *NetAcct) {
+	b := &s.loadBreak[kind]
+	b.n++
+	b.total += cycles
+	b.queue += a.Queue
+	b.xfer += a.Xfer
+	b.ser += a.Ser
+	b.delegWait += a.DelegWait
+	b.hops += int64(a.Hops)
+	b.legs += int64(a.Legs)
+	b.delegs += int64(a.Delegs)
+}
+
+// noteDelegated hands a stuck reply's trace over to the delegated
+// request that replaces it: the stuck packet is recorded as aborted,
+// and the successor inherits a trace pointing back at it.
+func (s *System) noteDelegated(stuck, successor *noc.Packet) {
+	if s.obs == nil || stuck.Trace == nil {
+		return
+	}
+	s.obs.PacketDropped(stuck, "delegated", s.cycle)
+	if successor.Trace == nil {
+		successor.Trace = &noc.PacketTrace{}
+	}
+	successor.Trace.Origin = stuck.ID
 }
 
 // recordLoadLat samples the end-to-end latency of a completed GPU load.
@@ -302,10 +353,14 @@ func (s *System) memNodeFor(line cache.Addr) int {
 // newPacket constructs a packet with a fresh id.
 func (s *System) newPacket(src, dst int, class noc.Class, prio noc.Priority, flits int, m *Msg) *noc.Packet {
 	s.pktID++
-	return &noc.Packet{
+	p := &noc.Packet{
 		ID: s.pktID, Src: src, Dst: dst,
 		Class: class, Prio: prio, SizeFlits: flits, Payload: m,
 	}
+	if s.obs != nil {
+		p.Trace = s.obs.TraceFor(p.ID)
+	}
+	return p
 }
 
 // isDelegated and isRP report the active scheme.
@@ -413,6 +468,9 @@ func (s *System) Tick() {
 		s.kernelFlush()
 		s.nextFlush = s.cycle + int64(s.Cfg.GPU.KernelCycles)
 	}
+	if s.obs != nil {
+		s.obs.Tick(s.cycle)
+	}
 }
 
 // kernelFlush emulates the software-coherence kernel boundary: GPU L1s
@@ -463,6 +521,7 @@ func (s *System) ResetStats() {
 	for i := range s.loadLat {
 		s.loadLat[i].Reset()
 	}
+	s.loadBreak = [5]breakAcc{}
 }
 
 // RunWorkload runs the configured warmup then measurement window and

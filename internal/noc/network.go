@@ -43,6 +43,12 @@ type Network struct {
 	ring [][]event
 	now  int64
 
+	// TraceSink, when non-nil, receives every ejected packet that
+	// carries a Trace record (set by the observability layer). It must
+	// only record — the tick path stays free of I/O and side effects
+	// on simulated state.
+	TraceSink func(*Packet)
+
 	// Statistics (reset at the end of warmup).
 	InjFlits [2]int64 // per class
 	EjFlits  [2]int64
@@ -208,12 +214,28 @@ func (n *Network) FlitHops() int64 { return n.flitHops }
 func (n *Network) MeasuredCycles() int64 { return n.measured }
 
 // PortUtilization returns the fraction of measured cycles that router
-// r's output port carried a flit.
+// r's output port carried a flit. It returns 0 before any cycle has
+// been measured and for out-of-range router or port indices.
 func (n *Network) PortUtilization(r, port int) float64 {
 	if n.measured == 0 {
 		return 0
 	}
-	return float64(n.Routers[r].out[port].sent) / float64(n.measured)
+	return float64(n.PortSent(r, port)) / float64(n.measured)
+}
+
+// PortSent returns the cumulative flits transferred through router r's
+// output port since the last ResetStats, or 0 for out-of-range
+// indices. The observability layer differences it across windows to
+// derive per-link utilization time series.
+func (n *Network) PortSent(r, port int) int64 {
+	if r < 0 || r >= len(n.Routers) {
+		return 0
+	}
+	rt := n.Routers[r]
+	if port < 0 || port >= len(rt.out) {
+		return 0
+	}
+	return rt.out[port].sent
 }
 
 // Quiet reports whether the network holds no buffered or in-flight

@@ -171,6 +171,9 @@ func (ni *NI) tickInject() {
 		b.q = append(b.q, f)
 		if f.Head() {
 			st.pkt.Injected = ni.net.now
+			if st.pkt.Trace != nil {
+				st.pkt.Trace.arrive(ni.router, ni.net.now)
+			}
 		}
 		ni.net.InjFlits[st.pkt.Class]++
 		st.seq++
@@ -222,6 +225,9 @@ func (ni *NI) tickEject() {
 			rtr.out[ni.port].credits[v] += pkt.SizeFlits
 			pkt.Ejected = ni.net.now
 			ni.net.PktLat[pkt.Prio].Add(float64(pkt.Ejected - pkt.Enqueued))
+			if pkt.Trace != nil && ni.net.TraceSink != nil {
+				ni.net.TraceSink(pkt)
+			}
 			ni.asm = append(ni.asm, pkt)
 		}
 	}

@@ -57,6 +57,11 @@ type Packet struct {
 	Enqueued int64 // cycle the packet entered the source injection queue
 	ReadyAt  int64 // earliest cycle the NI may begin injecting (LLC pipeline)
 	Hops     int
+
+	// Trace, when non-nil, collects per-hop phase stamps for the
+	// observability layer. It is measurement-only state: it never
+	// affects routing or timing.
+	Trace *PacketTrace
 }
 
 // Flit is one flow-control unit of a packet.

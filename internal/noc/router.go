@@ -93,6 +93,9 @@ func (r *Router) acceptFlit(port, vc int, f Flit) {
 	if len(b.q) >= r.net.bufDepth {
 		panic("noc: input buffer overflow (credit accounting bug)")
 	}
+	if f.Pkt.Trace != nil && f.Head() {
+		f.Pkt.Trace.arrive(r.ID, r.net.now)
+	}
 	b.q = append(b.q, f)
 }
 
@@ -170,6 +173,9 @@ func (r *Router) allocateVCs() {
 					out.owner[ovc] = ownerKey(p, v)
 					b.outPort = op
 					b.outVC = ovc
+					if pkt := b.q[0].Pkt; pkt.Trace != nil {
+						pkt.Trace.vcAlloc(r.ID, r.net.now)
+					}
 					r.vaOutPtr[op] = (idx + 1) % total
 					granted++
 					break
@@ -245,6 +251,14 @@ func (r *Router) traverse(p, v int, b *vcBuf) {
 	op.sent++
 	r.net.flitHops++
 	f.Pkt.Hops++
+	if f.Pkt.Trace != nil {
+		if f.Head() {
+			f.Pkt.Trace.depart(r.ID, r.net.now)
+		}
+		if f.Tail() {
+			f.Pkt.Trace.tailDepart(r.ID, r.net.now)
+		}
+	}
 
 	if op.link != nil {
 		op.credits[b.outVC]--

@@ -1,0 +1,69 @@
+package noc
+
+// PacketTrace records per-hop phase timestamps of a traced packet for
+// the observability layer (internal/obs). Tracing is opt-in per packet:
+// the Packet.Trace field is nil for untraced packets and every
+// instrumentation site below is guarded by that nil check, so an
+// untraced simulation pays one pointer comparison per stamp site.
+// Stamps are simulated cycles; nothing here influences routing,
+// allocation, or timing — a traced run must be bit-identical to an
+// untraced one.
+type PacketTrace struct {
+	// Origin is the ID of the packet this one was derived from (a
+	// delegated request inherits the stuck reply's trace identity);
+	// zero for original packets.
+	Origin uint64
+	// Aborted names why the packet left the network without ejecting
+	// (e.g. "delegated" for a reply converted into a delegated
+	// request); empty for packets that completed normally.
+	Aborted string
+	// Hops are the router traversals of the head flit, in order.
+	Hops []HopTrace
+}
+
+// HopTrace is one router traversal of a traced packet. Timestamps the
+// packet has not reached yet are -1.
+type HopTrace struct {
+	Router     int
+	Arrive     int64 // head flit entered the input VC buffer
+	VCAlloc    int64 // output VC granted (end of VC-allocation wait)
+	Depart     int64 // head flit traversed the crossbar (end of switch wait)
+	TailDepart int64 // tail flit traversed (end of link serialization)
+}
+
+// arrive opens a new hop record at a router.
+func (t *PacketTrace) arrive(router int, now int64) {
+	t.Hops = append(t.Hops, HopTrace{
+		Router: router, Arrive: now, VCAlloc: -1, Depart: -1, TailDepart: -1,
+	})
+}
+
+// last returns the most recent hop record if it belongs to router.
+func (t *PacketTrace) last(router int) *HopTrace {
+	if n := len(t.Hops); n > 0 && t.Hops[n-1].Router == router {
+		return &t.Hops[n-1]
+	}
+	return nil
+}
+
+// vcAlloc stamps the VC-allocation grant of the current hop.
+func (t *PacketTrace) vcAlloc(router int, now int64) {
+	if h := t.last(router); h != nil && h.VCAlloc < 0 {
+		h.VCAlloc = now
+	}
+}
+
+// depart stamps the head flit's crossbar traversal of the current hop.
+func (t *PacketTrace) depart(router int, now int64) {
+	if h := t.last(router); h != nil && h.Depart < 0 {
+		h.Depart = now
+	}
+}
+
+// tailDepart stamps the tail flit's crossbar traversal of the current
+// hop, closing the link-serialization phase.
+func (t *PacketTrace) tailDepart(router int, now int64) {
+	if h := t.last(router); h != nil {
+		h.TailDepart = now
+	}
+}

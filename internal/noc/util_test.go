@@ -1,0 +1,51 @@
+package noc
+
+import "testing"
+
+func TestPortUtilizationEdges(t *testing.T) {
+	net, _ := buildNet(t, meshTopo(), defaultNoC(), 64)
+	// No cycle measured yet: utilization must be 0, not NaN.
+	if u := net.PortUtilization(0, 0); u != 0 {
+		t.Fatalf("utilization before any cycle = %v, want 0", u)
+	}
+	// Out-of-range router/port indices return 0 instead of panicking.
+	for _, rp := range [][2]int{{-1, 0}, {len(net.Routers), 0}, {0, -1}, {0, 99}} {
+		if u := net.PortUtilization(rp[0], rp[1]); u != 0 {
+			t.Fatalf("utilization(%d,%d) = %v, want 0", rp[0], rp[1], u)
+		}
+		if s := net.PortSent(rp[0], rp[1]); s != 0 {
+			t.Fatalf("sent(%d,%d) = %v, want 0", rp[0], rp[1], s)
+		}
+	}
+}
+
+func TestPortUtilizationCountsTraffic(t *testing.T) {
+	net, _ := buildNet(t, meshTopo(), defaultNoC(), 64)
+	p := &Packet{ID: 1, Src: 0, Dst: 7, Class: ClassRequest, SizeFlits: 4}
+	if got := runTraffic(t, net, []*Packet{p}, 300); got != 1 {
+		t.Fatal("packet not delivered")
+	}
+	// The packet crossed router 0 toward router 1: some output port of
+	// router 0 carried its 4 flits.
+	var sent int64
+	topo := net.Topology()
+	for port := 0; port < topo.NumPorts(0); port++ {
+		sent += net.PortSent(0, port)
+		if u := net.PortUtilization(0, port); u < 0 || u > 1 {
+			t.Fatalf("utilization out of range: %v", u)
+		}
+	}
+	if sent < 4 {
+		t.Fatalf("router 0 ports carried %d flits, want >= 4", sent)
+	}
+	// ResetStats zeroes the per-port counters.
+	net.ResetStats()
+	for port := 0; port < topo.NumPorts(0); port++ {
+		if net.PortSent(0, port) != 0 {
+			t.Fatal("ResetStats left port counters non-zero")
+		}
+	}
+	if u := net.PortUtilization(0, 0); u != 0 {
+		t.Fatalf("utilization after reset = %v", u)
+	}
+}

@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// clogHarness drives a Detector through scripted windows.
+type clogHarness struct {
+	sent    float64
+	qlen    int
+	blocked float64
+}
+
+func newClogDetector(h *clogHarness, thr float64) *Detector {
+	d := newDetector(100, thr, 16)
+	d.AddSource(ClogSource{
+		Name:    "mem0",
+		Ports:   []func() float64{func() float64 { return h.sent }},
+		QLen:    func() int { return h.qlen },
+		QCap:    8,
+		Blocked: func() float64 { return h.blocked },
+	})
+	return d
+}
+
+func TestClogDetection(t *testing.T) {
+	h := &clogHarness{}
+	d := newClogDetector(h, 0.85)
+
+	// Window 1: light traffic, empty queue — no event.
+	h.sent, h.qlen = 30, 0
+	d.sample(100)
+	// Window 2: saturated link but queue did not grow — no event.
+	h.sent = 130
+	d.sample(200)
+	// Window 3: saturated link and the queue grew — clog.
+	h.sent, h.qlen, h.blocked = 225, 4, 20
+	d.sample(300)
+	// Window 4: saturated and queue pinned at capacity — clog.
+	h.sent, h.qlen, h.blocked = 320, 8, 60
+	d.sample(400)
+	// Window 5: traffic fell below threshold — no event.
+	h.sent, h.qlen = 360, 8
+	d.sample(500)
+
+	evs := d.Events()
+	if len(evs) != 2 || d.EventCount() != 2 {
+		t.Fatalf("events = %d (total %d), want 2", len(evs), d.EventCount())
+	}
+	e := evs[0]
+	if e.Source != "mem0" || e.Start != 200 || e.End != 300 {
+		t.Fatalf("event window = %+v", e)
+	}
+	if e.Util != 0.95 {
+		t.Fatalf("event util = %v, want 0.95", e.Util)
+	}
+	if e.QStart != 0 || e.QEnd != 4 || e.QCap != 8 {
+		t.Fatalf("event queue = %+v", e)
+	}
+	if e.BlockedFrac != 0.2 {
+		t.Fatalf("blocked frac = %v, want 0.2", e.BlockedFrac)
+	}
+
+	var b strings.Builder
+	if err := d.Narrative(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "1 clog episode(s)") {
+		t.Fatalf("expected one merged episode (consecutive windows), got:\n%s", out)
+	}
+	if !strings.Contains(out, "mem0") || !strings.Contains(out, "200..400") {
+		t.Fatalf("narrative missing source/span:\n%s", out)
+	}
+}
+
+func TestClogQuietNarrative(t *testing.T) {
+	h := &clogHarness{}
+	d := newClogDetector(h, 0.85)
+	h.sent = 10
+	d.sample(100)
+	var b strings.Builder
+	if err := d.Narrative(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "no clog episodes") {
+		t.Fatalf("quiet narrative = %q", b.String())
+	}
+}
+
+func TestClogCounterResetGuard(t *testing.T) {
+	h := &clogHarness{}
+	d := newClogDetector(h, 0.85)
+	h.sent, h.qlen = 100, 2
+	d.sample(100)
+	// ResetStats shrank the cumulative counter; the delta must
+	// re-baseline instead of going negative.
+	h.sent, h.qlen = 95, 5
+	d.sample(200)
+	evs := d.Events()
+	if len(evs) != 2 {
+		t.Fatalf("events = %d, want 2 (both windows saturated with growth)", len(evs))
+	}
+	if evs[1].Util != 0.95 {
+		t.Fatalf("post-reset util = %v, want 0.95 (re-baselined)", evs[1].Util)
+	}
+}

@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Chrome trace-event export: each trace record becomes one track
+// (tid = packet ID) of "X" complete events covering the packet's
+// lifecycle phases — inject queueing, per-hop VC-allocation wait,
+// switch wait, link serialization, wire flight, and ejection — in
+// cycle units (the viewer's "us" are simulator cycles). The output
+// loads directly into Perfetto / chrome://tracing.
+
+// traceEvent is one Chrome trace-event object.
+type traceEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    int64          `json:"ts"`
+	Dur   int64          `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   uint64         `json:"tid"`
+	Cat   string         `json:"cat,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// traceDoc is the top-level Chrome trace JSON object.
+type traceDoc struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// slice appends one complete event when both endpoints are stamped and
+// the duration is non-negative.
+func slice(evs []traceEvent, name, cat string, from, to int64, tid uint64, args map[string]any) []traceEvent {
+	if from < 0 || to < from {
+		return evs
+	}
+	return append(evs, traceEvent{
+		Name: name, Phase: "X", TS: from, Dur: to - from,
+		PID: 0, TID: tid, Cat: cat, Args: args,
+	})
+}
+
+// WriteTrace exports the retained lifecycle traces as Chrome
+// trace-event JSON. Run-end only.
+func (o *Observer) WriteTrace(w io.Writer) error {
+	doc := traceDoc{DisplayTimeUnit: "ns", TraceEvents: []traceEvent{}}
+	for i := range o.traces {
+		doc.TraceEvents = appendPacketEvents(doc.TraceEvents, &o.traces[i])
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
+
+// appendPacketEvents renders one packet's lifecycle onto its track.
+func appendPacketEvents(evs []traceEvent, t *TraceRecord) []traceEvent {
+	tid := t.ID
+	label := fmt.Sprintf("pkt %d %s %d->%d", t.ID, t.Class, t.Src, t.Dst)
+	if t.Payload != "" {
+		label += " " + t.Payload
+	}
+	if t.Aborted != "" {
+		label += " [" + t.Aborted + "]"
+	}
+	evs = append(evs, traceEvent{
+		Name: "thread_name", Phase: "M", PID: 0, TID: tid,
+		Args: map[string]any{"name": label},
+	})
+
+	meta := map[string]any{
+		"id": t.ID, "src": t.Src, "dst": t.Dst,
+		"class": t.Class.String(), "flits": t.Flits,
+	}
+	if t.Origin != 0 {
+		meta["origin_pkt"] = t.Origin
+	}
+	if t.Aborted != "" {
+		meta["aborted"] = t.Aborted
+	}
+
+	// Source-side queueing: from when the packet was both enqueued and
+	// ready until its head flit entered the router.
+	qStart := t.Enqueued
+	if t.ReadyAt > qStart {
+		qStart = t.ReadyAt
+	}
+	injected := t.Injected
+	if injected <= 0 && t.Aborted != "" {
+		// Never injected (delegated out of the queue): the whole life
+		// is queueing, ending at the abort cycle.
+		evs = slice(evs, "queue", "ni", qStart, t.Ejected, tid, meta)
+		return evs
+	}
+	evs = slice(evs, "queue", "ni", qStart, injected, tid, meta)
+
+	for i := range t.Hops {
+		h := &t.Hops[i]
+		at := fmt.Sprintf(" @r%d", h.Router)
+		evs = slice(evs, "vc_wait"+at, "router", h.Arrive, h.VCAlloc, tid, nil)
+		evs = slice(evs, "switch_wait"+at, "router", h.VCAlloc, h.Depart, tid, nil)
+		evs = slice(evs, "serialize"+at, "router", h.Depart, h.TailDepart, tid, nil)
+		if i+1 < len(t.Hops) && h.Depart >= 0 && t.Hops[i+1].Arrive > h.Depart {
+			evs = slice(evs, "link", "wire", h.Depart, t.Hops[i+1].Arrive, tid, nil)
+		}
+	}
+	if n := len(t.Hops); n > 0 && t.Ejected > 0 {
+		last := &t.Hops[n-1]
+		from := last.TailDepart
+		if from < 0 {
+			from = last.Depart
+		}
+		evs = slice(evs, "eject", "ni", from, t.Ejected, tid, nil)
+	}
+	return evs
+}

@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"delrep/internal/noc"
+)
+
+func TestTraceSampling(t *testing.T) {
+	o := New(Options{TraceSample: 4, MaxTraces: 2})
+	if o.TraceFor(1) != nil || o.TraceFor(3) != nil {
+		t.Fatal("non-multiples of 4 must not be sampled")
+	}
+	if o.TraceFor(0) == nil || o.TraceFor(4) == nil {
+		t.Fatal("multiples of 4 must be sampled")
+	}
+	// Disabled tracing samples nothing.
+	off := New(Options{})
+	if off.TraceFor(0) != nil {
+		t.Fatal("TraceSample=0 must disable tracing")
+	}
+}
+
+func TestTraceBufferBound(t *testing.T) {
+	o := New(Options{TraceSample: 1, MaxTraces: 2})
+	for id := uint64(0); id < 5; id++ {
+		tr := o.TraceFor(id)
+		if tr == nil {
+			continue
+		}
+		p := &noc.Packet{ID: id, SizeFlits: 1, Trace: tr, Enqueued: 1, Injected: 2, Ejected: 9}
+		o.PacketCompleted(p)
+	}
+	if o.TraceCount() != 2 {
+		t.Fatalf("TraceCount = %d, want 2", o.TraceCount())
+	}
+	if o.TracesDropped() == 0 {
+		t.Fatal("expected dropped samples past MaxTraces")
+	}
+}
+
+func TestWriteTraceChromeFormat(t *testing.T) {
+	o := New(Options{TraceSample: 1, MaxTraces: 16})
+	o.Describe = func(p any) string { return "READ" }
+
+	tr := o.TraceFor(0)
+	pkt := &noc.Packet{
+		ID: 0, Src: 1, Dst: 5, Class: noc.ClassReply, SizeFlits: 5,
+		Enqueued: 10, ReadyAt: 12, Injected: 20, Ejected: 48, Trace: tr,
+	}
+	// Two router hops with full phase stamps.
+	tr.Hops = []noc.HopTrace{
+		{Router: 1, Arrive: 20, VCAlloc: 21, Depart: 22, TailDepart: 26},
+		{Router: 2, Arrive: 25, VCAlloc: 27, Depart: 28, TailDepart: 32},
+	}
+	o.PacketCompleted(pkt)
+
+	// A delegated (aborted) packet that never injected.
+	tr2 := o.TraceFor(1)
+	stuck := &noc.Packet{ID: 1, Src: 5, Dst: 1, SizeFlits: 5, Enqueued: 30, Trace: tr2}
+	o.PacketDropped(stuck, "delegated", 40)
+
+	var b strings.Builder
+	if err := o.WriteTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Phase string         `json:"ph"`
+			TS    int64          `json:"ts"`
+			Dur   int64          `json:"dur"`
+			TID   uint64         `json:"tid"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	byName := map[string]int{}
+	sawQueue := false
+	for _, ev := range doc.TraceEvents {
+		byName[ev.Name]++
+		if ev.Name == "queue" && ev.TID == 0 {
+			sawQueue = true
+			// Queue wait starts at max(Enqueued, ReadyAt)=12, ends at inject=20.
+			if ev.TS != 12 || ev.Dur != 8 {
+				t.Fatalf("queue slice ts=%d dur=%d, want 12/8", ev.TS, ev.Dur)
+			}
+		}
+	}
+	if !sawQueue {
+		t.Fatal("missing queue slice for packet 0")
+	}
+	if byName["thread_name"] != 2 {
+		t.Fatalf("thread_name metadata events = %d, want 2", byName["thread_name"])
+	}
+	if byName["vc_wait @r1"] != 1 || byName["switch_wait @r2"] != 1 || byName["serialize @r1"] != 1 {
+		t.Fatalf("missing per-hop phases: %v", byName)
+	}
+	if byName["link"] != 1 {
+		t.Fatalf("link slices = %d, want 1", byName["link"])
+	}
+	if byName["eject"] != 1 {
+		t.Fatalf("eject slices = %d, want 1", byName["eject"])
+	}
+}

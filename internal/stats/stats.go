@@ -148,8 +148,12 @@ func (h *Histogram) Bucket(i int) int64 { return h.buckets[i] }
 // Overflow returns the overflow-bucket count.
 func (h *Histogram) Overflow() int64 { return h.overflow }
 
-// Percentile returns an approximate p-th percentile (p in [0,100]),
-// using the lower edge of the bucket containing that rank.
+// Percentile returns an approximate p-th percentile (p in [0,100]).
+// Within the bucket containing the rank it interpolates assuming the
+// bucket's observations are spread uniformly (midpoint convention), so
+// a single observation reports the bucket midpoint rather than the
+// lower edge — the lower-edge answer systematically underestimates by
+// up to one bucket width.
 func (h *Histogram) Percentile(p float64) float64 {
 	total := h.sampler.Count()
 	if total == 0 {
@@ -161,10 +165,11 @@ func (h *Histogram) Percentile(p float64) float64 {
 	}
 	var seen int64
 	for i, b := range h.buckets {
-		seen += b
-		if seen >= rank {
-			return float64(i) * h.width
+		if b > 0 && seen+b >= rank {
+			frac := (float64(rank) - 0.5 - float64(seen)) / float64(b)
+			return (float64(i) + frac) * h.width
 		}
+		seen += b
 	}
 	return float64(len(h.buckets)) * h.width
 }
@@ -260,15 +265,23 @@ func (t *Table) AddRow(cells ...any) {
 	t.rows = append(t.rows, row)
 }
 
-// String renders the table with aligned columns.
+// String renders the table with aligned columns. Rows may carry more
+// cells than there are headers (or fewer); the widths cover the widest
+// row so no cell is ever out of range.
 func (t *Table) String() string {
-	widths := make([]int, len(t.headers))
+	cols := len(t.headers)
+	for _, r := range t.rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	widths := make([]int, cols)
 	for i, h := range t.headers {
 		widths[i] = len(h)
 	}
 	for _, r := range t.rows {
 		for i, c := range r {
-			if i < len(widths) && len(c) > widths[i] {
+			if len(c) > widths[i] {
 				widths[i] = len(c)
 			}
 		}
@@ -288,7 +301,7 @@ func (t *Table) String() string {
 		b.WriteByte('\n')
 	}
 	writeRow(t.headers)
-	sep := make([]string, len(t.headers))
+	sep := make([]string, cols)
 	for i := range sep {
 		sep[i] = strings.Repeat("-", widths[i])
 	}

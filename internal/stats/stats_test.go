@@ -111,6 +111,41 @@ func TestHistogram(t *testing.T) {
 	}
 }
 
+func TestHistogramPercentileInterpolation(t *testing.T) {
+	// 0..99 into width-10 buckets: interpolated percentiles land inside
+	// the bucket instead of on its lower edge.
+	h := NewHistogram(10, 10)
+	for i := 0; i < 100; i++ {
+		h.Add(float64(i))
+	}
+	if p := h.Percentile(50); math.Abs(p-49.5) > 1e-9 {
+		t.Fatalf("p50 = %v, want 49.5", p)
+	}
+	if p := h.Percentile(99); math.Abs(p-98.5) > 1e-9 {
+		t.Fatalf("p99 = %v, want 98.5", p)
+	}
+	// A single observation reports its bucket's midpoint, not the lower
+	// edge (the old bias: any percentile of {5} came back as 0).
+	s := NewHistogram(10, 10)
+	s.Add(5)
+	for _, p := range []float64{1, 50, 99} {
+		if got := s.Percentile(p); math.Abs(got-5) > 1e-9 {
+			t.Fatalf("p%v of single mid-bucket value = %v, want 5", p, got)
+		}
+	}
+	// Percentiles stay within the observed bucket's bounds.
+	if p := h.Percentile(0); p < 0 || p > 10 {
+		t.Fatalf("p0 = %v, outside first bucket", p)
+	}
+	if p := h.Percentile(100); p < 90 || p > 100 {
+		t.Fatalf("p100 = %v, outside last bucket", p)
+	}
+	// Empty histogram still reports 0.
+	if NewHistogram(10, 10).Percentile(50) != 0 {
+		t.Fatal("empty histogram percentile != 0")
+	}
+}
+
 func TestHistogramNegativeClamped(t *testing.T) {
 	h := NewHistogram(4, 1)
 	h.Add(-3)
@@ -184,5 +219,24 @@ func TestTable(t *testing.T) {
 	out2 := tb.String()
 	if strings.Index(out2, "longer") > strings.Index(out2, "x") {
 		t.Fatalf("rows not sorted:\n%s", out2)
+	}
+}
+
+func TestTableWideRow(t *testing.T) {
+	// A row with more cells than headers must render instead of
+	// panicking with an index out of range.
+	tb := NewTable("", "A", "B")
+	tb.AddRow("x", "y", "extra", "more")
+	tb.AddRow("only")
+	out := tb.String()
+	if !strings.Contains(out, "extra") || !strings.Contains(out, "more") {
+		t.Fatalf("wide row cells missing:\n%s", out)
+	}
+	if !strings.Contains(out, "only") {
+		t.Fatalf("narrow row missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // header, separator, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
 	}
 }
