@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race lint bench all
+.PHONY: build test race lint bench record all
 
 all: build test lint
 
@@ -20,3 +20,8 @@ lint:
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+# record refreshes the checked-in quick-windows evaluation record
+# (parallel, cached; stdout is byte-identical at any -j value).
+record:
+	$(GO) run ./cmd/expdriver -quick all > experiments_output.txt

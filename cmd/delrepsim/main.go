@@ -5,6 +5,11 @@
 // Usage:
 //
 //	delrepsim -gpu HS -cpu vips -scheme delegated -warm 20000 -cycles 60000
+//	delrepsim -sweep -gpu HS,BP,2DCON -cpu vips -scheme baseline,delegated -j 8
+//
+// With -sweep, the -gpu, -cpu and -scheme flags accept comma-separated
+// lists and the cross product runs concurrently on -j workers through
+// the shared result cache (see internal/runner).
 package main
 
 import (
@@ -12,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"delrep/internal/config"
@@ -22,9 +28,9 @@ import (
 
 func main() {
 	var (
-		gpuBench = flag.String("gpu", "HS", "GPU benchmark (see -list)")
-		cpuBench = flag.String("cpu", "vips", "CPU benchmark (see -list)")
-		scheme   = flag.String("scheme", "baseline", "baseline | delegated | rp")
+		gpuBench = flag.String("gpu", "HS", "GPU benchmark (see -list); comma-separated list with -sweep")
+		cpuBench = flag.String("cpu", "vips", "CPU benchmark (see -list); comma-separated list with -sweep")
+		scheme   = flag.String("scheme", "baseline", "baseline | delegated | rp; comma-separated list with -sweep")
 		layout   = flag.String("layout", "Baseline", "Baseline | B | C | D")
 		topo     = flag.String("topo", "mesh", "mesh | fbfly | dragonfly | crossbar")
 		routing  = flag.String("routing", "cdr", "cdr | dyxy | footprint | hare")
@@ -44,6 +50,10 @@ func main() {
 		traceSample   = flag.Uint64("trace-sample", 64, "trace every Nth packet (with -trace-out)")
 		clogFlag      = flag.Bool("clog", false, "print the clog-detector narrative after the run")
 		clogUtil      = flag.Float64("clog-util", 0.85, "clog-detector port-utilization threshold")
+
+		sweep    = flag.Bool("sweep", false, "run the -gpu x -cpu x -scheme cross product in parallel")
+		jobs     = flag.Int("j", runtime.GOMAXPROCS(0), "max concurrent simulations (with -sweep)")
+		cacheDir = flag.String("cache", "auto", `on-disk result cache: directory path, "auto" (per-user dir), or "off"`)
 	)
 	flag.Parse()
 
@@ -69,67 +79,29 @@ func main() {
 		cfg.NoC.FlitsPerVC = *vcdepth
 	}
 
-	switch strings.ToLower(*scheme) {
-	case "baseline":
-		cfg.Scheme = config.SchemeBaseline
-	case "delegated", "dr", "delegatedreplies":
-		cfg.Scheme = config.SchemeDelegatedReplies
-	case "rp":
-		cfg.Scheme = config.SchemeRP
-	default:
-		fatalf("unknown scheme %q", *scheme)
-	}
-
-	switch strings.ToLower(*layout) {
-	case "baseline", "a":
-		cfg.Layout = config.BaselineLayout()
-	case "b":
-		cfg.Layout = config.LayoutB()
-	case "c":
-		cfg.Layout = config.LayoutC()
-	case "d":
-		cfg.Layout = config.LayoutD()
-	default:
-		fatalf("unknown layout %q", *layout)
+	var err error
+	if cfg.Layout, err = parseLayout(*layout); err != nil {
+		fatalf("%v", err)
 	}
 	cfg.NoC.ReqOrder = cfg.Layout.ReqOrder
 	cfg.NoC.RepOrder = cfg.Layout.RepOrder
-
-	switch strings.ToLower(*topo) {
-	case "mesh":
-		cfg.NoC.Topology = config.TopoMesh
-	case "fbfly":
-		cfg.NoC.Topology = config.TopoFlattenedButterfly
-	case "dragonfly":
-		cfg.NoC.Topology = config.TopoDragonfly
-	case "crossbar":
-		cfg.NoC.Topology = config.TopoCrossbar
-	default:
-		fatalf("unknown topology %q", *topo)
+	if cfg.NoC.Topology, err = parseTopo(*topo); err != nil {
+		fatalf("%v", err)
+	}
+	if cfg.NoC.Routing, err = parseRouting(*routing); err != nil {
+		fatalf("%v", err)
+	}
+	if cfg.GPU.Org, err = parseOrg(*org); err != nil {
+		fatalf("%v", err)
 	}
 
-	switch strings.ToLower(*routing) {
-	case "cdr":
-		cfg.NoC.Routing = config.RoutingCDR
-	case "dyxy":
-		cfg.NoC.Routing = config.RoutingDyXY
-	case "footprint":
-		cfg.NoC.Routing = config.RoutingFootprint
-	case "hare":
-		cfg.NoC.Routing = config.RoutingHARE
-	default:
-		fatalf("unknown routing %q", *routing)
+	if *sweep {
+		runSweep(cfg, *gpuBench, *cpuBench, *scheme, *jobs, *cacheDir)
+		return
 	}
 
-	switch strings.ToLower(*org) {
-	case "private":
-		cfg.GPU.Org = config.L1Private
-	case "dcl1", "dc-l1":
-		cfg.GPU.Org = config.L1DCL1
-	case "dyneb":
-		cfg.GPU.Org = config.L1DynEB
-	default:
-		fatalf("unknown L1 organisation %q", *org)
+	if cfg.Scheme, err = parseScheme(*scheme); err != nil {
+		fatalf("%v", err)
 	}
 
 	sys := core.NewSystem(cfg, *gpuBench, *cpuBench)

@@ -1,0 +1,167 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"delrep/internal/config"
+	"delrep/internal/runner"
+	"delrep/internal/stats"
+)
+
+// Flag-value parsers shared by the single-run and sweep modes.
+
+func parseScheme(s string) (config.Scheme, error) {
+	switch strings.ToLower(s) {
+	case "baseline":
+		return config.SchemeBaseline, nil
+	case "delegated", "dr", "delegatedreplies":
+		return config.SchemeDelegatedReplies, nil
+	case "rp":
+		return config.SchemeRP, nil
+	}
+	return 0, fmt.Errorf("unknown scheme %q", s)
+}
+
+func parseLayout(s string) (config.Layout, error) {
+	switch strings.ToLower(s) {
+	case "baseline", "a":
+		return config.BaselineLayout(), nil
+	case "b":
+		return config.LayoutB(), nil
+	case "c":
+		return config.LayoutC(), nil
+	case "d":
+		return config.LayoutD(), nil
+	}
+	return config.Layout{}, fmt.Errorf("unknown layout %q", s)
+}
+
+func parseTopo(s string) (config.Topology, error) {
+	switch strings.ToLower(s) {
+	case "mesh":
+		return config.TopoMesh, nil
+	case "fbfly":
+		return config.TopoFlattenedButterfly, nil
+	case "dragonfly":
+		return config.TopoDragonfly, nil
+	case "crossbar":
+		return config.TopoCrossbar, nil
+	}
+	return 0, fmt.Errorf("unknown topology %q", s)
+}
+
+func parseRouting(s string) (config.RoutingAlg, error) {
+	switch strings.ToLower(s) {
+	case "cdr":
+		return config.RoutingCDR, nil
+	case "dyxy":
+		return config.RoutingDyXY, nil
+	case "footprint":
+		return config.RoutingFootprint, nil
+	case "hare":
+		return config.RoutingHARE, nil
+	}
+	return 0, fmt.Errorf("unknown routing %q", s)
+}
+
+func parseOrg(s string) (config.L1Org, error) {
+	switch strings.ToLower(s) {
+	case "private":
+		return config.L1Private, nil
+	case "dcl1", "dc-l1":
+		return config.L1DCL1, nil
+	case "dyneb":
+		return config.L1DynEB, nil
+	}
+	return 0, fmt.Errorf("unknown L1 organisation %q", s)
+}
+
+// openCache resolves the -cache flag: "off" disables the on-disk
+// cache, "auto" selects the per-user default directory (degrading to
+// no cache if unavailable), anything else is a directory path.
+func openCache(flagVal string) *runner.DiskCache {
+	switch flagVal {
+	case "off":
+		return nil
+	case "auto":
+		dir, err := runner.DefaultCacheDir()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "delrepsim: no user cache dir (%v); running uncached\n", err)
+			return nil
+		}
+		c, err := runner.OpenDiskCache(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "delrepsim: opening cache %s: %v; running uncached\n", dir, err)
+			return nil
+		}
+		return c
+	default:
+		c, err := runner.OpenDiskCache(flagVal)
+		if err != nil {
+			fatalf("opening cache %s: %v", flagVal, err)
+		}
+		return c
+	}
+}
+
+// runSweep runs the cross product of comma-separated -gpu, -cpu and
+// -scheme lists through the parallel engine and prints one row per
+// run. Rows appear in declaration order (schemes outermost, then GPU,
+// then CPU benchmarks), whatever order the simulations finish in, so
+// the output is identical at any -j value and any cache state.
+func runSweep(cfg config.Config, gpuList, cpuList, schemeList string, jobs int, cacheFlag string) {
+	var schemes []config.Scheme
+	for _, s := range strings.Split(schemeList, ",") {
+		sc, err := parseScheme(strings.TrimSpace(s))
+		if err != nil {
+			fatalf("%v", err)
+		}
+		schemes = append(schemes, sc)
+	}
+	split := func(list string) []string {
+		var out []string
+		for _, s := range strings.Split(list, ",") {
+			if s = strings.TrimSpace(s); s != "" {
+				out = append(out, s)
+			}
+		}
+		return out
+	}
+	gpus, cpus := split(gpuList), split(cpuList)
+	if len(gpus) == 0 || len(cpus) == 0 {
+		fatalf("-sweep needs at least one GPU and one CPU benchmark")
+	}
+
+	cache := openCache(cacheFlag)
+	eng := runner.New(runner.Options{Workers: jobs, Cache: cache, Progress: os.Stderr})
+	batch := eng.NewBatch()
+	for _, scheme := range schemes {
+		for _, g := range gpus {
+			for _, c := range cpus {
+				sc := cfg
+				sc.Scheme = scheme
+				batch.Add(runner.Spec{Cfg: sc, GPU: g, CPU: c})
+			}
+		}
+	}
+
+	t := stats.NewTable(fmt.Sprintf("Sweep: %d runs", batch.Len()),
+		"GPU", "CPU", "Scheme", "GPU IPC", "CPU lat", "CPU tput", "Blocked %", "RepUtil %", "Deleg")
+	for _, run := range batch.Wait() {
+		res := run.Results
+		t.AddRow(run.Spec.GPU, run.Spec.CPU, run.Spec.Cfg.Scheme.String(),
+			res.GPUIPC, res.CPULatAvg, res.CPUThroughput,
+			100*res.MemBlockedRate, 100*res.MemReplyLinkUtil, res.Delegations)
+	}
+	fmt.Println(t)
+
+	c := eng.Counters()
+	where := "off"
+	if cache != nil {
+		where = cache.Dir()
+	}
+	fmt.Fprintf(os.Stderr, "delrepsim: %d simulations executed, %d disk-cache hits, %d in-process shares (cache %s)\n",
+		c.Executed, c.DiskHits, c.MemoHits, where)
+}

@@ -15,29 +15,37 @@ import (
 //   - FRQ size, including the 8-entry paper value
 //   - FRQ same-line merging (the multicast extension the paper skips)
 func ablation(r *Runner) {
-	t := stats.NewTable("Delegated Replies ablations (HM GPU gain % over baseline)",
-		"Knob", "Setting", "DR gain %")
+	var rows []gainRow
+	add := func(knob, setting string, mutate func(*config.Config)) {
+		rows = append(rows, gainRow{knob, setting, drGain(r, mutate)})
+	}
 
-	t.AddRow("trigger", "blocked-only (paper)", drGain(r, func(c *config.Config) {}))
-	t.AddRow("trigger", "always-delegate", drGain(r, func(c *config.Config) {
+	add("trigger", "blocked-only (paper)", func(*config.Config) {})
+	add("trigger", "always-delegate", func(c *config.Config) {
 		c.DelRep.AlwaysDelegate = true
-	}))
+	})
 	for _, n := range []int{1, 2, 4} {
 		n := n
-		t.AddRow("delegations/cycle", fmt.Sprint(n), drGain(r, func(c *config.Config) {
+		add("delegations/cycle", fmt.Sprint(n), func(c *config.Config) {
 			c.DelRep.MaxDelegationsPerCycle = n
-		}))
+		})
 	}
 	for _, e := range []int{2, 8, 32} {
 		e := e
-		t.AddRow("FRQ entries", fmt.Sprint(e), drGain(r, func(c *config.Config) {
+		add("FRQ entries", fmt.Sprint(e), func(c *config.Config) {
 			c.GPU.FRQEntries = e
-		}))
+		})
 	}
-	t.AddRow("FRQ merging", "off (paper)", drGain(r, func(c *config.Config) {}))
-	t.AddRow("FRQ merging", "on (idealized multicast)", drGain(r, func(c *config.Config) {
+	add("FRQ merging", "off (paper)", func(*config.Config) {})
+	add("FRQ merging", "on (idealized multicast)", func(c *config.Config) {
 		c.DelRep.FRQMerge = true
-	}))
+	})
+
+	t := stats.NewTable("Delegated Replies ablations (HM GPU gain % over baseline)",
+		"Knob", "Setting", "DR gain %")
+	for _, row := range rows {
+		t.AddRow(row.knob, row.setting, row.gain())
+	}
 	fmt.Println(t)
 	fmt.Println("paper: delegates only when the reply network blocks (avoids needless latency);")
 	fmt.Println("       FRQ = 8 entries; merging skipped because only 4.8% of entries share a line")

@@ -5,16 +5,31 @@ import (
 
 	"delrep/internal/config"
 	"delrep/internal/core"
+	"delrep/internal/runner"
 	"delrep/internal/stats"
 )
 
-// sweep runs one scheme across the Table II pairings and returns
-// results keyed by GPU benchmark (one entry per CPU co-runner).
-func sweep(r *Runner, scheme config.Scheme) map[string][]core.Results {
-	out := map[string][]core.Results{}
-	for _, g := range r.GPUBenches() {
-		for _, c := range r.CoRunners(g) {
-			out[g] = append(out[g], r.Run(BaseConfig(scheme), g, c))
+// sweeps declares the full Table II pairing sweep for every scheme up
+// front — the engine runs them concurrently — and returns, per scheme,
+// results keyed by GPU benchmark (one entry per CPU co-runner, in
+// Table II order).
+func sweeps(r *Runner, schemes ...config.Scheme) []map[string][]core.Results {
+	futs := make([]map[string][]*runner.Future, len(schemes))
+	for si, scheme := range schemes {
+		futs[si] = map[string][]*runner.Future{}
+		for _, g := range r.GPUBenches() {
+			for _, c := range r.CoRunners(g) {
+				futs[si][g] = append(futs[si][g], r.Defer(BaseConfig(scheme), g, c))
+			}
+		}
+	}
+	out := make([]map[string][]core.Results, len(schemes))
+	for si := range schemes {
+		out[si] = map[string][]core.Results{}
+		for _, g := range r.GPUBenches() {
+			for _, f := range futs[si][g] {
+				out[si][g] = append(out[si][g], f.Results())
+			}
 		}
 	}
 	return out
@@ -35,9 +50,8 @@ func relStats(num, den []core.Results, metric func(core.Results) float64) (mean,
 
 // fig10 is the headline GPU performance comparison.
 func fig10(r *Runner) {
-	base := sweep(r, config.SchemeBaseline)
-	rp := sweep(r, config.SchemeRP)
-	dr := sweep(r, config.SchemeDelegatedReplies)
+	s := sweeps(r, config.SchemeBaseline, config.SchemeRP, config.SchemeDelegatedReplies)
+	base, rp, dr := s[0], s[1], s[2]
 	t := stats.NewTable("Figure 10: GPU performance normalized to baseline (mean [min..max] across CPU co-runners)",
 		"GPU bench", "RP", "DR", "DR min", "DR max")
 	var rpAll, drAll []float64
@@ -58,9 +72,8 @@ func fig10(r *Runner) {
 
 // fig11 reports the received data rate per GPU core.
 func fig11(r *Runner) {
-	base := sweep(r, config.SchemeBaseline)
-	rp := sweep(r, config.SchemeRP)
-	dr := sweep(r, config.SchemeDelegatedReplies)
+	s := sweeps(r, config.SchemeBaseline, config.SchemeRP, config.SchemeDelegatedReplies)
+	base, rp, dr := s[0], s[1], s[2]
 	t := stats.NewTable("Figure 11: received data rate (reply flits/cycle/GPU core)",
 		"GPU bench", "Baseline", "RP", "DR", "DR gain %")
 	var gains []float64
@@ -92,9 +105,8 @@ func meanOf(rs []core.Results, f func(core.Results) float64) float64 {
 
 // fig12 reports CPU network latency per CPU benchmark.
 func fig12(r *Runner) {
-	base := sweep(r, config.SchemeBaseline)
-	dr := sweep(r, config.SchemeDelegatedReplies)
-	rp := sweep(r, config.SchemeRP)
+	s := sweeps(r, config.SchemeBaseline, config.SchemeRP, config.SchemeDelegatedReplies)
+	base, rp, dr := s[0], s[1], s[2]
 	t := stats.NewTable("Figure 12: CPU network latency, normalized to baseline (lower is better)",
 		"CPU bench", "RP", "DR")
 	perCPU := map[string][3]*stats.Sampler{}
@@ -124,9 +136,8 @@ func fig12(r *Runner) {
 
 // fig13 reports CPU performance (request throughput).
 func fig13(r *Runner) {
-	base := sweep(r, config.SchemeBaseline)
-	rp := sweep(r, config.SchemeRP)
-	dr := sweep(r, config.SchemeDelegatedReplies)
+	s := sweeps(r, config.SchemeBaseline, config.SchemeRP, config.SchemeDelegatedReplies)
+	base, rp, dr := s[0], s[1], s[2]
 	t := stats.NewTable("Figure 13: CPU performance normalized to baseline (mean [max] across GPU co-runners)",
 		"CPU bench", "RP", "DR", "DR max")
 	perCPU := map[string][3]*stats.Sampler{}
@@ -167,7 +178,7 @@ func cpuNamesIn(m map[string][3]*stats.Sampler) []string {
 
 // fig14 reports the Delegated Replies miss-service breakdown.
 func fig14(r *Runner) {
-	dr := sweep(r, config.SchemeDelegatedReplies)
+	dr := sweeps(r, config.SchemeDelegatedReplies)[0]
 	t := stats.NewTable("Figure 14: L1 miss breakdown under Delegated Replies (%)",
 		"GPU bench", "LLC hit", "Remote hit", "Remote miss", "Forwarded", "RemoteHit/Fwd")
 	var fwd, rh []float64
@@ -212,17 +223,22 @@ func fig15(r *Runner) {
 		{"DynEB rr + DR", config.L1DynEB, config.CTARoundRobin, config.SchemeDelegatedReplies},
 		{"DynEB dist + DR", config.L1DynEB, config.CTADistributed, config.SchemeDelegatedReplies},
 	}
-	t := stats.NewTable("Figure 15: shared L1 organisations, CTA scheduling, and DR (vs private-L1 baseline, HM)",
-		"Config", "Rel. GPU perf")
-	for _, v := range variants {
-		var rel []float64
-		for _, g := range r.SubsetBenches() {
+	resolvers := make([]func() []resPair, len(variants))
+	for i, v := range variants {
+		v := v
+		resolvers[i] = deferPairs(r, func(string) (config.Config, config.Config) {
 			cfg := BaseConfig(v.scheme)
 			cfg.GPU.Org = v.org
 			cfg.GPU.CTASched = v.sched
-			res := r.Run(cfg, g, PrimaryCPU(g))
-			base := r.Run(BaseConfig(config.SchemeBaseline), g, PrimaryCPU(g))
-			rel = append(rel, res.GPUIPC/base.GPUIPC)
+			return cfg, BaseConfig(config.SchemeBaseline)
+		})
+	}
+	t := stats.NewTable("Figure 15: shared L1 organisations, CTA scheduling, and DR (vs private-L1 baseline, HM)",
+		"Config", "Rel. GPU perf")
+	for i, v := range variants {
+		var rel []float64
+		for _, p := range resolvers[i]() {
+			rel = append(rel, p.a.GPUIPC/p.b.GPUIPC)
 		}
 		t.AddRow(v.name, stats.HarmonicMean(rel))
 	}
@@ -234,18 +250,23 @@ func fig15(r *Runner) {
 func fig16(r *Runner) {
 	topos := []config.Topology{config.TopoMesh, config.TopoFlattenedButterfly,
 		config.TopoDragonfly, config.TopoCrossbar}
-	t := stats.NewTable("Figure 16: Delegated Replies across topologies (normalized per topology, HM)",
-		"Topology", "DR gain %")
-	for _, topo := range topos {
-		var rel []float64
-		for _, g := range r.SubsetBenches() {
-			cb := BaseConfig(config.SchemeBaseline)
-			cb.NoC.Topology = topo
+	resolvers := make([]func() []resPair, len(topos))
+	for i, topo := range topos {
+		topo := topo
+		resolvers[i] = deferPairs(r, func(string) (config.Config, config.Config) {
 			cd := BaseConfig(config.SchemeDelegatedReplies)
 			cd.NoC.Topology = topo
-			b := r.Run(cb, g, PrimaryCPU(g))
-			d := r.Run(cd, g, PrimaryCPU(g))
-			rel = append(rel, d.GPUIPC/b.GPUIPC)
+			cb := BaseConfig(config.SchemeBaseline)
+			cb.NoC.Topology = topo
+			return cd, cb
+		})
+	}
+	t := stats.NewTable("Figure 16: Delegated Replies across topologies (normalized per topology, HM)",
+		"Topology", "DR gain %")
+	for i, topo := range topos {
+		var rel []float64
+		for _, p := range resolvers[i]() {
+			rel = append(rel, p.a.GPUIPC/p.b.GPUIPC)
 		}
 		t.AddRow(topo.String(), 100*(stats.HarmonicMean(rel)-1))
 	}
@@ -255,22 +276,28 @@ func fig16(r *Runner) {
 
 // layoutGains runs DR across layouts and returns GPU and CPU gains.
 func layoutGains(r *Runner) *stats.Table {
-	t := stats.NewTable("Figures 17/18: Delegated Replies across chip layouts (normalized per layout, HM)",
-		"Layout", "GPU gain %", "CPU gain %")
-	for _, l := range config.AllLayouts() {
-		var gr, cr []float64
-		for _, g := range r.SubsetBenches() {
-			cb := BaseConfig(config.SchemeBaseline)
-			cb.Layout = l
-			cb.NoC.ReqOrder, cb.NoC.RepOrder = l.ReqOrder, l.RepOrder
+	layouts := config.AllLayouts()
+	resolvers := make([]func() []resPair, len(layouts))
+	for i, l := range layouts {
+		l := l
+		resolvers[i] = deferPairs(r, func(string) (config.Config, config.Config) {
 			cd := BaseConfig(config.SchemeDelegatedReplies)
 			cd.Layout = l
 			cd.NoC.ReqOrder, cd.NoC.RepOrder = l.ReqOrder, l.RepOrder
-			b := r.Run(cb, g, PrimaryCPU(g))
-			d := r.Run(cd, g, PrimaryCPU(g))
-			gr = append(gr, d.GPUIPC/b.GPUIPC)
-			if b.CPUThroughput > 0 {
-				cr = append(cr, d.CPUThroughput/b.CPUThroughput)
+			cb := BaseConfig(config.SchemeBaseline)
+			cb.Layout = l
+			cb.NoC.ReqOrder, cb.NoC.RepOrder = l.ReqOrder, l.RepOrder
+			return cd, cb
+		})
+	}
+	t := stats.NewTable("Figures 17/18: Delegated Replies across chip layouts (normalized per layout, HM)",
+		"Layout", "GPU gain %", "CPU gain %")
+	for i, l := range layouts {
+		var gr, cr []float64
+		for _, p := range resolvers[i]() {
+			gr = append(gr, p.a.GPUIPC/p.b.GPUIPC)
+			if p.b.CPUThroughput > 0 {
+				cr = append(cr, p.a.CPUThroughput/p.b.CPUThroughput)
 			}
 		}
 		t.AddRow(l.Name, 100*(stats.HarmonicMean(gr)-1), 100*(stats.HarmonicMean(cr)-1))

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"delrep/internal/config"
+	"delrep/internal/runner"
 	"delrep/internal/stats"
 	"delrep/internal/workload"
 )
@@ -43,11 +44,16 @@ func tableII(*Runner) {
 
 // fig2 measures inter-core locality on the baseline.
 func fig2(r *Runner) {
+	benches := r.GPUBenches()
+	futs := make([]*runner.Future, len(benches))
+	for i, g := range benches {
+		futs[i] = r.Defer(BaseConfig(config.SchemeBaseline), g, PrimaryCPU(g))
+	}
 	t := stats.NewTable("Figure 2: fraction of L1 misses resident in a remote L1",
 		"GPU bench", "Locality %", "L1 miss %")
 	var loc []float64
-	for _, g := range r.GPUBenches() {
-		res := r.Run(BaseConfig(config.SchemeBaseline), g, PrimaryCPU(g))
+	for i, g := range benches {
+		res := futs[i].Results()
 		t.AddRow(g, 100*res.InterCoreLocal, 100*res.L1MissRate)
 		loc = append(loc, res.InterCoreLocal)
 	}
@@ -74,19 +80,24 @@ func fig5(r *Runner) {
 		{"fbfly-2x", config.TopoFlattenedButterfly, 2},
 		{"dragonfly-2x", config.TopoDragonfly, 2},
 	}
-	t := stats.NewTable("Figure 5a: GPU performance vs mesh baseline (HM across benchmarks)",
-		"Config", "Rel. GPU perf", "Blocking % (5b)")
-	for _, v := range variants {
-		var rel []float64
-		var blocked stats.Sampler
-		for _, g := range r.SubsetBenches() {
+	resolvers := make([]func() []resPair, len(variants))
+	for i, v := range variants {
+		v := v
+		resolvers[i] = deferPairs(r, func(string) (config.Config, config.Config) {
 			cfg := BaseConfig(config.SchemeBaseline)
 			cfg.NoC.Topology = v.topo
 			cfg.NoC.ChannelBytes *= v.mult
-			res := r.Run(cfg, g, PrimaryCPU(g))
-			base := r.Run(BaseConfig(config.SchemeBaseline), g, PrimaryCPU(g))
-			rel = append(rel, res.GPUIPC/base.GPUIPC)
-			blocked.Add(res.MemBlockedRate)
+			return cfg, BaseConfig(config.SchemeBaseline)
+		})
+	}
+	t := stats.NewTable("Figure 5a: GPU performance vs mesh baseline (HM across benchmarks)",
+		"Config", "Rel. GPU perf", "Blocking % (5b)")
+	for i, v := range variants {
+		var rel []float64
+		var blocked stats.Sampler
+		for _, p := range resolvers[i]() {
+			rel = append(rel, p.a.GPUIPC/p.b.GPUIPC)
+			blocked.Add(p.a.MemBlockedRate)
 		}
 		t.AddRow(v.name, stats.HarmonicMean(rel), 100*blocked.Mean())
 	}
@@ -105,20 +116,25 @@ func fig6(r *Runner) {
 		{"AVCP-2:2", 2, 2},
 		{"AVCP-3:1", 3, 1},
 	}
-	t := stats.NewTable("Figure 6: AVCP vs baseline (per benchmark, relative GPU perf)",
-		append([]string{"Config"}, append(r.SubsetBenches(), "HM")...)...)
-	for _, sp := range splits {
-		row := []any{sp.name}
-		var rel []float64
-		for _, g := range r.SubsetBenches() {
+	resolvers := make([]func() []resPair, len(splits))
+	for i, sp := range splits {
+		sp := sp
+		resolvers[i] = deferPairs(r, func(string) (config.Config, config.Config) {
 			cfg := BaseConfig(config.SchemeBaseline)
 			cfg.NoC.SharedPhys = true
 			cfg.NoC.ChannelBytes *= 2 // one physical network, same aggregate bandwidth
 			cfg.NoC.ReqVCs, cfg.NoC.RepVCs = sp.req, sp.rep
-			res := r.Run(cfg, g, PrimaryCPU(g))
-			base := r.Run(BaseConfig(config.SchemeBaseline), g, PrimaryCPU(g))
-			rel = append(rel, res.GPUIPC/base.GPUIPC)
-			row = append(row, res.GPUIPC/base.GPUIPC)
+			return cfg, BaseConfig(config.SchemeBaseline)
+		})
+	}
+	t := stats.NewTable("Figure 6: AVCP vs baseline (per benchmark, relative GPU perf)",
+		append([]string{"Config"}, append(r.SubsetBenches(), "HM")...)...)
+	for i, sp := range splits {
+		row := []any{sp.name}
+		var rel []float64
+		for _, p := range resolvers[i]() {
+			rel = append(rel, p.a.GPUIPC/p.b.GPUIPC)
+			row = append(row, p.a.GPUIPC/p.b.GPUIPC)
 		}
 		row = append(row, stats.HarmonicMean(rel))
 		t.AddRow(row...)
@@ -130,16 +146,21 @@ func fig6(r *Runner) {
 // fig7 evaluates the adaptive routing schemes against CDR.
 func fig7(r *Runner) {
 	algs := []config.RoutingAlg{config.RoutingDyXY, config.RoutingFootprint, config.RoutingHARE}
-	t := stats.NewTable("Figure 7: adaptive routing vs CDR baseline (relative GPU perf)",
-		"Routing", "Rel. GPU perf (HM)")
-	for _, alg := range algs {
-		var rel []float64
-		for _, g := range r.SubsetBenches() {
+	resolvers := make([]func() []resPair, len(algs))
+	for i, alg := range algs {
+		alg := alg
+		resolvers[i] = deferPairs(r, func(string) (config.Config, config.Config) {
 			cfg := BaseConfig(config.SchemeBaseline)
 			cfg.NoC.Routing = alg
-			res := r.Run(cfg, g, PrimaryCPU(g))
-			base := r.Run(BaseConfig(config.SchemeBaseline), g, PrimaryCPU(g))
-			rel = append(rel, res.GPUIPC/base.GPUIPC)
+			return cfg, BaseConfig(config.SchemeBaseline)
+		})
+	}
+	t := stats.NewTable("Figure 7: adaptive routing vs CDR baseline (relative GPU perf)",
+		"Routing", "Rel. GPU perf (HM)")
+	for i, alg := range algs {
+		var rel []float64
+		for _, p := range resolvers[i]() {
+			rel = append(rel, p.a.GPUIPC/p.b.GPUIPC)
 		}
 		t.AddRow(alg.String(), stats.HarmonicMean(rel))
 	}
@@ -162,16 +183,22 @@ func fig9(r *Runner) {
 		{config.LayoutC(), config.OrderXY, config.OrderXY},
 		{config.LayoutD(), config.OrderXY, config.OrderXY},
 	}
+	futs := make([][]*runner.Future, len(variants))
+	for i, v := range variants {
+		for _, g := range r.SubsetBenches() {
+			cfg := BaseConfig(config.SchemeBaseline)
+			cfg.Layout = v.layout
+			cfg.NoC.ReqOrder, cfg.NoC.RepOrder = v.req, v.rep
+			futs[i] = append(futs[i], r.Defer(cfg, g, PrimaryCPU(g)))
+		}
+	}
 	t := stats.NewTable("Figure 9: layouts and routing (normalized to Baseline YX-XY)",
 		"Layout", "Routing", "GPU perf", "CPU perf")
 	var baseGPU, baseCPU []float64
 	for i, v := range variants {
 		var gpuR, cpuR []float64
-		for _, g := range r.SubsetBenches() {
-			cfg := BaseConfig(config.SchemeBaseline)
-			cfg.Layout = v.layout
-			cfg.NoC.ReqOrder, cfg.NoC.RepOrder = v.req, v.rep
-			res := r.Run(cfg, g, PrimaryCPU(g))
+		for _, f := range futs[i] {
+			res := f.Results()
 			gpuR = append(gpuR, res.GPUIPC)
 			cpuR = append(cpuR, res.CPUThroughput)
 		}

@@ -5,20 +5,29 @@
 //
 // Usage:
 //
-//	expdriver [-quick] [-warm N] [-cycles N] <experiment> [...]
+//	expdriver [-quick] [-j N] [-cache DIR|auto|off] [-warm N] [-cycles N] <experiment> [...]
 //	expdriver all            # every experiment in paper order
 //	expdriver list           # list experiments
 //
 // -quick shrinks the simulation windows and the workload set; use it to
 // validate the harness before a full run.
+//
+// Independent simulations run concurrently on -j workers (default
+// GOMAXPROCS) and are memoized on disk, so a rerun with a warm cache
+// performs zero simulations. Everything printed to stdout is
+// byte-identical at any -j value and any cache state; progress,
+// timing, and cache accounting go to stderr.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"time"
+
+	"delrep/internal/runner"
 )
 
 // experiment is one reproducible table/figure.
@@ -56,12 +65,43 @@ func experiments() []experiment {
 	}
 }
 
+// openCache resolves the -cache flag: "off" disables the on-disk
+// cache, "auto" selects the per-user default directory (and degrades
+// to no cache if unavailable), anything else is a directory path.
+func openCache(flagVal string) *runner.DiskCache {
+	switch flagVal {
+	case "off":
+		return nil
+	case "auto":
+		dir, err := runner.DefaultCacheDir()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "expdriver: no user cache dir (%v); running uncached\n", err)
+			return nil
+		}
+		c, err := runner.OpenDiskCache(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "expdriver: opening cache %s: %v; running uncached\n", dir, err)
+			return nil
+		}
+		return c
+	default:
+		c, err := runner.OpenDiskCache(flagVal)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "expdriver: opening cache %s: %v\n", flagVal, err)
+			os.Exit(2)
+		}
+		return c
+	}
+}
+
 func main() {
 	var (
-		quick  = flag.Bool("quick", false, "small windows and workload subset")
-		warm   = flag.Int64("warm", 0, "override warmup cycles")
-		cycles = flag.Int64("cycles", 0, "override measured cycles")
-		seed   = flag.Int64("seed", 1, "random seed")
+		quick    = flag.Bool("quick", false, "small windows and workload subset")
+		warm     = flag.Int64("warm", 0, "override warmup cycles")
+		cycles   = flag.Int64("cycles", 0, "override measured cycles")
+		seed     = flag.Int64("seed", 1, "random seed")
+		jobs     = flag.Int("j", runtime.GOMAXPROCS(0), "max concurrent simulations")
+		cacheDir = flag.String("cache", "auto", `on-disk result cache: directory path, "auto" (per-user dir), or "off"`)
 	)
 	flag.Parse()
 	args := flag.Args()
@@ -70,19 +110,21 @@ func main() {
 		os.Exit(2)
 	}
 
-	r := NewRunner(*quick, *seed)
-	if *warm > 0 {
-		r.Warm = *warm
-	}
-	if *cycles > 0 {
-		r.Measure = *cycles
-	}
-
 	if args[0] == "list" {
 		for _, e := range experiments() {
 			fmt.Printf("  %-8s %s\n", e.name, e.about)
 		}
 		return
+	}
+
+	cache := openCache(*cacheDir)
+	eng := runner.New(runner.Options{Workers: *jobs, Cache: cache, Progress: os.Stderr})
+	r := NewRunner(*quick, *seed, eng)
+	if *warm > 0 {
+		r.Warm = *warm
+	}
+	if *cycles > 0 {
+		r.Measure = *cycles
 	}
 
 	want := map[string]bool{}
@@ -116,12 +158,39 @@ func main() {
 			continue
 		}
 		start := time.Now()
+		before := eng.Counters()
+		obsBefore, simsBefore := r.observed, r.obsSims
+
 		fmt.Printf("### %s — %s\n\n", e.name, e.about)
 		e.run(r)
-		fmt.Printf("(%s, %d simulations, %s)\n\n", e.name, r.TakeRunCount(), time.Since(start).Round(time.Second))
+
+		// The run count on stdout is the number of results the figure
+		// consumed — identical however they were obtained — so stdout
+		// stays byte-identical across -j values and cache states.
+		// The variable accounting (simulated vs cached vs shared, and
+		// wall-clock) goes to stderr.
+		after := eng.Counters()
+		delivered := int(after.Executed+after.DiskHits+after.MemoHits-
+			before.Executed-before.DiskHits-before.MemoHits) + r.observed - obsBefore
+		fmt.Printf("(%s, %d runs)\n\n", e.name, delivered)
+		fmt.Fprintf(os.Stderr, "  %s: %d simulated, %d from disk cache, %d shared in-process, %s\n",
+			e.name,
+			after.Executed-before.Executed+int64(r.obsSims-simsBefore),
+			after.DiskHits-before.DiskHits+int64((r.observed-obsBefore)-(r.obsSims-simsBefore)),
+			after.MemoHits-before.MemoHits,
+			time.Since(start).Round(time.Second))
 	}
+
+	c := eng.Counters()
+	where := "off"
+	if cache != nil {
+		where = cache.Dir()
+	}
+	fmt.Fprintf(os.Stderr, "expdriver: %d simulations executed, %d disk-cache hits, %d in-process shares (-j %d, cache %s)\n",
+		c.Executed+int64(r.obsSims), c.DiskHits+int64(r.observed-r.obsSims), c.MemoHits,
+		eng.Workers(), where)
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: expdriver [-quick] [-warm N] [-cycles N] <experiment>|all|list ...")
+	fmt.Fprintln(os.Stderr, "usage: expdriver [-quick] [-j N] [-cache DIR|auto|off] [-warm N] [-cycles N] <experiment>|all|list ...")
 }

@@ -1,31 +1,34 @@
 package main
 
 import (
-	"fmt"
-	"os"
-
 	"delrep/internal/config"
 	"delrep/internal/core"
+	"delrep/internal/runner"
 	"delrep/internal/workload"
 )
 
-// Runner executes and memoizes simulations: several figures share the
-// same underlying runs (e.g. Figures 10-14 all use the 33-workload
-// three-scheme sweep), so repeated requests are served from cache.
+// Runner fronts the shared parallel execution engine for the figure
+// functions: it stamps the driver-wide windows and seed onto every
+// declared configuration and tracks the observed (non-engine) runs
+// some experiments perform. Figures declare their full run set up
+// front (Defer / deferPairs / sweeps) and then consume the results in
+// declaration order, so their printed output is byte-identical at any
+// -j worker count and any cache state.
 type Runner struct {
 	Warm    int64
 	Measure int64
 	Seed    int64
 	Quick   bool
 
-	cache map[string]core.Results
-	runs  int
+	eng      *runner.Engine
+	observed int // observer-attached replays delivered (simulated or cached)
+	obsSims  int // observer-attached replays that actually simulated
 }
 
-// NewRunner builds a runner; quick mode shrinks windows and workloads.
-func NewRunner(quick bool, seed int64) *Runner {
-	r := &Runner{Warm: 12_000, Measure: 30_000, Seed: seed, Quick: quick,
-		cache: map[string]core.Results{}}
+// NewRunner builds a runner on an engine; quick mode shrinks windows
+// and workloads.
+func NewRunner(quick bool, seed int64, eng *runner.Engine) *Runner {
+	r := &Runner{Warm: 12_000, Measure: 30_000, Seed: seed, Quick: quick, eng: eng}
 	if quick {
 		r.Warm, r.Measure = 5_000, 12_000
 	}
@@ -46,8 +49,8 @@ func (r *Runner) GPUBenches() []string {
 
 // SubsetBenches returns a five-benchmark set spanning the workload
 // characters (dense stencil, remote-miss, low-miss, write-heavy,
-// LLC-friendly), used by the wide sensitivity sweeps to keep the full
-// evaluation tractable on one core.
+// LLC-friendly), used by the wide sensitivity sweeps to bound the
+// number of simulations each sweep point costs.
 func (r *Runner) SubsetBenches() []string {
 	if r.Quick {
 		return []string{"HS", "BP"}
@@ -68,43 +71,53 @@ func (r *Runner) CoRunners(gpu string) []string {
 	return cpus[:]
 }
 
-// key serializes the run-identifying configuration.
-func key(cfg config.Config, gpu, cpu string) string {
-	return fmt.Sprintf("%s|%s|s%d|%s|t%d|r%d|%v%v|ch%d|vc%d-%d|fb%d|ib%d|sh%v-%d-%d|L1:%d-%v-%v|LLC:%d|mesh%dx%d|k%d|dr%d-%v-%v|frq%d|seed%d",
-		gpu, cpu, cfg.Scheme, cfg.Layout.Name,
-		cfg.NoC.Topology, cfg.NoC.Routing, cfg.NoC.ReqOrder, cfg.NoC.RepOrder,
-		cfg.NoC.ChannelBytes, cfg.NoC.VCsPerClass, cfg.NoC.AdaptiveVCs, cfg.NoC.FlitsPerVC,
-		cfg.NoC.InjectionBuf, cfg.NoC.SharedPhys, cfg.NoC.ReqVCs, cfg.NoC.RepVCs,
-		cfg.GPU.L1Bytes, cfg.GPU.Org, cfg.GPU.CTASched,
-		cfg.LLC.SliceBytes, cfg.Layout.Width, cfg.Layout.Height,
-		cfg.GPU.KernelCycles,
-		cfg.DelRep.MaxDelegationsPerCycle, cfg.DelRep.AlwaysDelegate, cfg.DelRep.FRQMerge,
-		cfg.GPU.FRQEntries, cfg.Seed)
-}
-
-// Run executes (or recalls) one simulation.
-func (r *Runner) Run(cfg config.Config, gpu, cpu string) core.Results {
+// prep stamps the driver-wide windows and seed onto a configuration.
+func (r *Runner) prep(cfg config.Config) config.Config {
 	cfg.WarmupCycles = r.Warm
 	cfg.MeasureCycles = r.Measure
 	cfg.Seed = r.Seed
-	k := key(cfg, gpu, cpu)
-	if res, ok := r.cache[k]; ok {
-		return res
-	}
-	fmt.Fprintf(os.Stderr, "  run %-5s + %-12s %s %s %s...\n",
-		gpu, cpu, cfg.Scheme, cfg.Layout.Name, cfg.NoC.Topology)
-	sys := core.NewSystem(cfg, gpu, cpu)
-	res := sys.RunWorkload()
-	r.cache[k] = res
-	r.runs++
-	return res
+	return cfg
 }
 
-// TakeRunCount returns and resets the simulation counter.
-func (r *Runner) TakeRunCount() int {
-	n := r.runs
-	r.runs = 0
-	return n
+// Defer declares one simulation on the engine and returns its future.
+func (r *Runner) Defer(cfg config.Config, gpu, cpu string) *runner.Future {
+	return r.eng.Submit(runner.Spec{Cfg: r.prep(cfg), GPU: gpu, CPU: cpu})
+}
+
+// Run executes (or recalls) one simulation synchronously. Figures that
+// want parallelism declare futures with Defer instead and resolve them
+// after the last declaration.
+func (r *Runner) Run(cfg config.Config, gpu, cpu string) core.Results {
+	return r.Defer(cfg, gpu, cpu).Results()
+}
+
+// resPair is one (variant, reference) result pair.
+type resPair struct {
+	a, b core.Results
+}
+
+// deferPairs declares, for every subset benchmark, the two
+// configurations produced by mk (with the benchmark's primary CPU
+// co-runner) and returns a resolver delivering the result pairs in
+// benchmark order. The resolver pattern lets a figure declare many
+// pair sets before blocking on any of them.
+func deferPairs(r *Runner, mk func(bench string) (variant, ref config.Config)) func() []resPair {
+	type futPair struct{ a, b *runner.Future }
+	var futs []futPair
+	for _, g := range r.SubsetBenches() {
+		va, vb := mk(g)
+		futs = append(futs, futPair{
+			r.Defer(va, g, PrimaryCPU(g)),
+			r.Defer(vb, g, PrimaryCPU(g)),
+		})
+	}
+	return func() []resPair {
+		out := make([]resPair, len(futs))
+		for i, f := range futs {
+			out[i] = resPair{f.a.Results(), f.b.Results()}
+		}
+		return out
+	}
 }
 
 // BaseConfig returns the default configuration with scheme applied.

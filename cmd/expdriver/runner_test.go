@@ -4,52 +4,15 @@ import (
 	"testing"
 
 	"delrep/internal/config"
+	"delrep/internal/runner"
 )
 
-func TestKeyDistinguishesConfigs(t *testing.T) {
-	base := BaseConfig(config.SchemeBaseline)
-	mutations := []func(*config.Config){
-		func(c *config.Config) { c.Scheme = config.SchemeDelegatedReplies },
-		func(c *config.Config) { c.NoC.Topology = config.TopoCrossbar },
-		func(c *config.Config) { c.NoC.Routing = config.RoutingDyXY },
-		func(c *config.Config) { c.NoC.ChannelBytes = 32 },
-		func(c *config.Config) { c.NoC.InjectionBuf = 16 },
-		func(c *config.Config) { c.NoC.SharedPhys = true; c.NoC.ReqVCs, c.NoC.RepVCs = 1, 3 },
-		func(c *config.Config) { c.GPU.L1Bytes = 64 * 1024 },
-		func(c *config.Config) { c.GPU.Org = config.L1DynEB },
-		func(c *config.Config) { c.GPU.CTASched = config.CTADistributed },
-		func(c *config.Config) { c.GPU.FRQEntries = 2 },
-		func(c *config.Config) { c.LLC.SliceBytes = 2 << 20 },
-		func(c *config.Config) { c.Layout = config.LayoutB() },
-		func(c *config.Config) { c.Layout = config.ScaledBaseline(10, 10) },
-		func(c *config.Config) { c.DelRep.MaxDelegationsPerCycle = 4 },
-		func(c *config.Config) { c.DelRep.AlwaysDelegate = true },
-		func(c *config.Config) { c.DelRep.FRQMerge = true },
-		func(c *config.Config) { c.Seed = 99 },
-	}
-	seen := map[string]int{key(base, "HS", "vips"): -1}
-	for i, mut := range mutations {
-		cfg := BaseConfig(config.SchemeBaseline)
-		mut(&cfg)
-		k := key(cfg, "HS", "vips")
-		if prev, dup := seen[k]; dup {
-			t.Errorf("mutation %d collides with %d: %s", i, prev, k)
-		}
-		seen[k] = i
-	}
-	if key(base, "HS", "vips") != key(base, "HS", "vips") {
-		t.Error("key is not deterministic")
-	}
-	if key(base, "HS", "vips") == key(base, "NN", "vips") {
-		t.Error("key ignores the GPU benchmark")
-	}
-	if key(base, "HS", "vips") == key(base, "HS", "dedup") {
-		t.Error("key ignores the CPU benchmark")
-	}
+func newTestRunner(quick bool) *Runner {
+	return NewRunner(quick, 1, runner.New(runner.Options{Workers: 1}))
 }
 
 func TestRunnerBenchSets(t *testing.T) {
-	full := NewRunner(false, 1)
+	full := newTestRunner(false)
 	if got := len(full.GPUBenches()); got != 11 {
 		t.Fatalf("full bench set = %d, want 11", got)
 	}
@@ -59,7 +22,7 @@ func TestRunnerBenchSets(t *testing.T) {
 	if got := len(full.CoRunners("HS")); got != 3 {
 		t.Fatalf("co-runners = %d, want 3", got)
 	}
-	quick := NewRunner(true, 1)
+	quick := newTestRunner(true)
 	if got := len(quick.GPUBenches()); got != 3 {
 		t.Fatalf("quick bench set = %d, want 3", got)
 	}
@@ -71,25 +34,43 @@ func TestRunnerBenchSets(t *testing.T) {
 	}
 }
 
-func TestRunnerCaches(t *testing.T) {
-	r := NewRunner(true, 1)
+func TestRunnerSharesResults(t *testing.T) {
+	r := newTestRunner(true)
 	r.Warm, r.Measure = 500, 1000 // tiny: this test runs real simulations
 	cfg := BaseConfig(config.SchemeBaseline)
 	a := r.Run(cfg, "HS", "vips")
-	if n := r.TakeRunCount(); n != 1 {
-		t.Fatalf("first run count = %d", n)
+	if c := r.eng.Counters(); c.Executed != 1 {
+		t.Fatalf("first run executed %d simulations, want 1", c.Executed)
 	}
 	b := r.Run(cfg, "HS", "vips")
-	if n := r.TakeRunCount(); n != 0 {
-		t.Fatalf("cached run re-executed (%d)", n)
+	if c := r.eng.Counters(); c.Executed != 1 || c.MemoHits != 1 {
+		t.Fatalf("repeat run not shared: %+v", c)
 	}
 	if a != b {
-		t.Fatal("cache returned different results")
+		t.Fatal("shared run returned different results")
 	}
 	cfg.Scheme = config.SchemeDelegatedReplies
 	r.Run(cfg, "HS", "vips")
-	if n := r.TakeRunCount(); n != 1 {
-		t.Fatalf("different scheme not re-run (%d)", n)
+	if c := r.eng.Counters(); c.Executed != 2 {
+		t.Fatalf("different scheme not re-run: %+v", c)
+	}
+}
+
+// TestPrepStampsWindows guards the cache-key bugfix: the windows and
+// seed the driver stamps must reach the engine's cache key, so -quick
+// results can never alias full-window results in a shared cache.
+func TestPrepStampsWindows(t *testing.T) {
+	r := newTestRunner(false)
+	r.Warm, r.Measure, r.Seed = 111, 222, 7
+	cfg := r.prep(BaseConfig(config.SchemeBaseline))
+	if cfg.WarmupCycles != 111 || cfg.MeasureCycles != 222 || cfg.Seed != 7 {
+		t.Fatalf("prep did not stamp windows/seed: %+v", cfg)
+	}
+	k1 := runner.Key(cfg, "HS", "vips")
+	r.Warm = 5_000
+	k2 := runner.Key(r.prep(BaseConfig(config.SchemeBaseline)), "HS", "vips")
+	if k1 == k2 {
+		t.Fatal("cache key ignores warmup window")
 	}
 }
 

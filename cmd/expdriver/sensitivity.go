@@ -5,71 +5,91 @@ import (
 
 	"delrep/internal/config"
 	"delrep/internal/power"
+	"delrep/internal/runner"
 	"delrep/internal/stats"
 )
 
-// drGain runs baseline and Delegated Replies under a config mutation
-// and returns the harmonic-mean GPU gain in percent.
-func drGain(r *Runner, mutate func(*config.Config)) float64 {
-	var rel []float64
-	for _, g := range r.SubsetBenches() {
-		cb := BaseConfig(config.SchemeBaseline)
-		mutate(&cb)
+// drGain declares baseline and Delegated Replies runs under a config
+// mutation and returns a resolver for the harmonic-mean GPU gain in
+// percent. Declaring first and resolving later lets a sweep submit
+// every knob setting to the pool before blocking on any result.
+func drGain(r *Runner, mutate func(*config.Config)) func() float64 {
+	resolve := deferPairs(r, func(string) (config.Config, config.Config) {
 		cd := BaseConfig(config.SchemeDelegatedReplies)
 		mutate(&cd)
-		b := r.Run(cb, g, PrimaryCPU(g))
-		d := r.Run(cd, g, PrimaryCPU(g))
-		if b.GPUIPC > 0 {
-			rel = append(rel, d.GPUIPC/b.GPUIPC)
+		cb := BaseConfig(config.SchemeBaseline)
+		mutate(&cb)
+		return cd, cb
+	})
+	return func() float64 {
+		var rel []float64
+		for _, p := range resolve() {
+			if p.b.GPUIPC > 0 {
+				rel = append(rel, p.a.GPUIPC/p.b.GPUIPC)
+			}
 		}
+		return 100 * (stats.HarmonicMean(rel) - 1)
 	}
-	return 100 * (stats.HarmonicMean(rel) - 1)
+}
+
+// gainRow is one declared sensitivity sweep point.
+type gainRow struct {
+	knob, setting string
+	gain          func() float64
 }
 
 // fig19 runs the sensitivity analyses.
 func fig19(r *Runner) {
-	t := stats.NewTable("Figure 19: Delegated Replies sensitivity (HM GPU gain %)",
-		"Knob", "Setting", "DR gain %")
+	var rows []gainRow
+	add := func(knob, setting string, mutate func(*config.Config)) {
+		rows = append(rows, gainRow{knob, setting, drGain(r, mutate)})
+	}
 
 	for _, kb := range []int{16, 32, 48, 64} {
 		kb := kb
-		t.AddRow("L1 size", fmt.Sprintf("%d KB", kb), drGain(r, func(c *config.Config) {
+		add("L1 size", fmt.Sprintf("%d KB", kb), func(c *config.Config) {
 			c.GPU.L1Bytes = kb * 1024
-		}))
+		})
 	}
 	for _, mb := range []int{4, 8, 16} {
 		mb := mb
-		t.AddRow("LLC size", fmt.Sprintf("%d MB total", mb), drGain(r, func(c *config.Config) {
+		add("LLC size", fmt.Sprintf("%d MB total", mb), func(c *config.Config) {
 			c.LLC.SliceBytes = mb << 20 / 8
-		}))
+		})
 	}
 	for _, ch := range []int{8, 16, 24} {
 		ch := ch
-		t.AddRow("NoC bandwidth", fmt.Sprintf("%d B channels", ch), drGain(r, func(c *config.Config) {
+		add("NoC bandwidth", fmt.Sprintf("%d B channels", ch), func(c *config.Config) {
 			c.NoC.ChannelBytes = ch
-		}))
+		})
 	}
 	for _, vc := range []int{1, 2} {
 		vc := vc
-		t.AddRow("virtual networks", fmt.Sprintf("shared phys, %d VC/class", vc), drGain(r, func(c *config.Config) {
+		add("virtual networks", fmt.Sprintf("shared phys, %d VC/class", vc), func(c *config.Config) {
 			c.NoC.SharedPhys = true
 			c.NoC.ChannelBytes *= 2
 			c.NoC.ReqVCs, c.NoC.RepVCs = vc, vc
-		}))
+		})
 	}
 	for _, n := range []int{8, 10, 12} {
 		n := n
-		t.AddRow("node count", fmt.Sprintf("%dx%d mesh", n, n), drGain(r, func(c *config.Config) {
+		add("node count", fmt.Sprintf("%dx%d mesh", n, n), func(c *config.Config) {
 			if n != 8 {
 				c.Layout = config.ScaledBaseline(n, n)
 			}
-		}))
+		})
 	}
 	for _, ib := range []int{4, 8, 16, 32} {
 		ib := ib
-		t.AddRow("injection buffer", fmt.Sprintf("%d packets", ib), drGain(r, func(c *config.Config) {
+		add("injection buffer", fmt.Sprintf("%d packets", ib), func(c *config.Config) {
 			c.NoC.InjectionBuf = ib
-		}))
+		})
+	}
+
+	t := stats.NewTable("Figure 19: Delegated Replies sensitivity (HM GPU gain %)",
+		"Knob", "Setting", "DR gain %")
+	for _, row := range rows {
+		t.AddRow(row.knob, row.setting, row.gain())
 	}
 	fmt.Println(t)
 	fmt.Println("paper: gains grow with L1 size (22.9->30.2%), insensitive to LLC size (25-26%) and injection buffers,")
@@ -78,16 +98,20 @@ func fig19(r *Runner) {
 
 // nodeMix varies the CPU/GPU/memory node ratios (Section VII).
 func nodeMix(r *Runner) {
-	t := stats.NewTable("Node mix: Delegated Replies GPU gain across 64-node mixes (HM %)",
-		"CPUs", "GPUs", "MemNodes", "DR gain %")
 	type mix struct{ cpu, mem int }
-	for _, m := range []mix{{8, 8}, {16, 8}, {24, 8}, {8, 4}, {8, 16}} {
+	mixes := []mix{{8, 8}, {16, 8}, {24, 8}, {8, 4}, {8, 16}}
+	gains := make([]func() float64, len(mixes))
+	for i, m := range mixes {
 		m := m
-		gain := drGain(r, func(c *config.Config) {
+		gains[i] = drGain(r, func(c *config.Config) {
 			c.Layout = config.LayoutFromCounts(
 				fmt.Sprintf("mix%dc%dm", m.cpu, m.mem), 8, 8, m.cpu, m.mem)
 		})
-		t.AddRow(m.cpu, 64-m.cpu-m.mem, m.mem, gain)
+	}
+	t := stats.NewTable("Node mix: Delegated Replies GPU gain across 64-node mixes (HM %)",
+		"CPUs", "GPUs", "MemNodes", "DR gain %")
+	for i, m := range mixes {
+		t.AddRow(m.cpu, 64-m.cpu-m.mem, m.mem, gains[i]())
 	}
 	fmt.Println(t)
 	fmt.Println("paper: +30.5/25.8/22.6% with 8/16/24 CPUs; +38.2/30.5/10.7% with 4/8/16 memory nodes")
@@ -97,25 +121,32 @@ func nodeMix(r *Runner) {
 func energy(r *Runner) {
 	cfg := config.Default()
 	areaMM2 := power.MeshNoCArea(cfg.Layout.Width, cfg.Layout.Height, cfg.NoC)
+	benches := r.GPUBenches()
+	futs := make([][]*runner.Future, len(allSchemes)) // [scheme][bench]
+	for si, scheme := range allSchemes {
+		for _, g := range benches {
+			futs[si] = append(futs[si], r.Defer(BaseConfig(scheme), g, PrimaryCPU(g)))
+		}
+	}
+	perInstr := func(si, bi int) float64 {
+		res := futs[si][bi].Results()
+		a := power.Activity{
+			FlitHops: res.FlitHops, BufferWrites: res.FlitHops,
+			Cycles: res.Cycles, ChannelBits: cfg.NoC.ChannelBytes * 8,
+			AreaMM2: areaMM2, ClockGHz: 1.4,
+		}
+		if res.GPUInsts == 0 {
+			return 0
+		}
+		return power.DynamicEnergyPJ(a) / float64(res.GPUInsts)
+	}
 	t := stats.NewTable("NoC dynamic energy per unit work (pJ per GPU instruction), vs baseline",
 		"GPU bench", "Baseline", "RP", "DR", "RP rel", "DR rel")
 	var rpRel, drRel []float64
-	for _, g := range r.GPUBenches() {
-		perInstr := func(scheme config.Scheme) float64 {
-			res := r.Run(BaseConfig(scheme), g, PrimaryCPU(g))
-			a := power.Activity{
-				FlitHops: res.FlitHops, BufferWrites: res.FlitHops,
-				Cycles: res.Cycles, ChannelBits: cfg.NoC.ChannelBytes * 8,
-				AreaMM2: areaMM2, ClockGHz: 1.4,
-			}
-			if res.GPUInsts == 0 {
-				return 0
-			}
-			return power.DynamicEnergyPJ(a) / float64(res.GPUInsts)
-		}
-		b := perInstr(config.SchemeBaseline)
-		p := perInstr(config.SchemeRP)
-		d := perInstr(config.SchemeDelegatedReplies)
+	for bi, g := range benches {
+		b := perInstr(0, bi)
+		p := perInstr(1, bi)
+		d := perInstr(2, bi)
 		t.AddRow(g, b, p, d, p/b, d/b)
 		rpRel = append(rpRel, p/b)
 		drRel = append(drRel, d/b)

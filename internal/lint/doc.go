@@ -1,0 +1,20 @@
+// Package lint is the umbrella for the simulator's custom static
+// analysis. Each subdirectory is one go/analysis pass enforcing a
+// repo-specific invariant that ordinary vet cannot see:
+//
+//   - tickpurity: nothing reachable from a Tick method may perform
+//     I/O, read the wall clock, or iterate a map — the determinism
+//     contract that makes simulations reproducible per seed and lets
+//     internal/runner execute them concurrently (see DESIGN.md §8).
+//   - rngsource: all randomness must flow from the seeded per-system
+//     source, never the global math/rand state.
+//   - mapiter: map iteration in simulation code must be order-
+//     normalized before it can influence results.
+//   - statsdiscipline: counters and samplers must be folded into the
+//     end-of-run digest so silent stat drift is caught.
+//   - hotpath: allocation and interface-conversion hygiene for the
+//     per-cycle hot path.
+//
+// The passes share the driver in internal/lint/analysis and are run
+// together by cmd/simlint (wired into "make lint" and CI).
+package lint

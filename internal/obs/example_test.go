@@ -1,0 +1,34 @@
+package obs_test
+
+import (
+	"fmt"
+
+	"delrep/internal/config"
+	"delrep/internal/core"
+	"delrep/internal/obs"
+)
+
+// ExampleObserver attaches the observability layer to a tiny run. The
+// observer is measurement-only, so the attached run's statistics
+// digest matches an identical unobserved run bit for bit.
+func ExampleObserver() {
+	cfg := config.Default()
+	cfg.WarmupCycles = 200
+	cfg.MeasureCycles = 600
+
+	o := obs.New(obs.Options{Window: 100, TraceSample: 32, ClogUtil: 0.5})
+	sys := core.NewSystem(cfg, "HS", "vips")
+	sys.AttachObserver(o)
+	sys.RunWorkload()
+
+	plain := core.NewSystem(cfg, "HS", "vips")
+	plain.RunWorkload()
+
+	fmt.Println("windows sampled:", o.Reg.Samples() > 0)
+	fmt.Println("metric probes registered:", len(o.Reg.Probes()) > 0)
+	fmt.Println("digest unchanged by observer:", sys.StatsDigest() == plain.StatsDigest())
+	// Output:
+	// windows sampled: true
+	// metric probes registered: true
+	// digest unchanged by observer: true
+}

@@ -1,0 +1,135 @@
+package runner
+
+import (
+	"crypto/sha256"
+	"encoding/gob"
+	"encoding/hex"
+	"os"
+	"path/filepath"
+
+	"delrep/internal/core"
+)
+
+// Version is the code/version salt folded into every cache address.
+// Bump it whenever a simulator change alters results for an unchanged
+// configuration — stale entries then simply stop being addressable and
+// age out, rather than poisoning new runs.
+const Version = "delrep-run-v1"
+
+// DiskCache is an on-disk, content-addressed store of simulation
+// results (and small observed-run artifacts). Entries are gob files
+// named by the SHA-256 of Version plus the run Key; gob preserves
+// float64 bit patterns exactly, so a cache hit is byte-for-byte
+// indistinguishable from re-running the simulation. Writes go through
+// a temp file plus rename, so concurrent processes sharing a cache
+// directory never observe torn entries. Any unreadable, mismatched, or
+// corrupt entry is treated as a miss and overwritten by the next Put.
+type DiskCache struct {
+	dir string
+}
+
+// OpenDiskCache opens (creating if needed) a cache directory.
+func OpenDiskCache(dir string) (*DiskCache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &DiskCache{dir: dir}, nil
+}
+
+// DefaultCacheDir returns the per-user default cache location
+// (<user cache dir>/delrep).
+func DefaultCacheDir() (string, error) {
+	base, err := os.UserCacheDir()
+	if err != nil {
+		return "", err
+	}
+	return filepath.Join(base, "delrep"), nil
+}
+
+// Dir returns the cache directory.
+func (c *DiskCache) Dir() string { return c.dir }
+
+// entry is the stored form of one simulation result. Version and Key
+// are stored verbatim and verified on read: a SHA-256 filename
+// collision or a stale-format file therefore degrades to a miss, never
+// to a wrong result.
+type entry struct {
+	Version string
+	Key     string
+	Digest  uint64
+	Results core.Results
+}
+
+// blobEntry is the stored form of one artifact (see GetBlob/PutBlob).
+type blobEntry struct {
+	Version string
+	Key     string
+	Data    []byte
+}
+
+func (c *DiskCache) path(key, ext string) string {
+	sum := sha256.Sum256([]byte(Version + "\x00" + key))
+	return filepath.Join(c.dir, hex.EncodeToString(sum[:])+ext)
+}
+
+// Get returns the cached results and end-state digest for a run key,
+// or ok=false on any miss, mismatch, or decoding failure.
+func (c *DiskCache) Get(key string) (res core.Results, digest uint64, ok bool) {
+	f, err := os.Open(c.path(key, ".run"))
+	if err != nil {
+		return core.Results{}, 0, false
+	}
+	defer f.Close()
+	var e entry
+	if err := gob.NewDecoder(f).Decode(&e); err != nil ||
+		e.Version != Version || e.Key != key {
+		return core.Results{}, 0, false
+	}
+	return e.Results, e.Digest, true
+}
+
+// Put stores one run's results under its key.
+func (c *DiskCache) Put(key string, digest uint64, res core.Results) error {
+	return c.write(c.path(key, ".run"), entry{
+		Version: Version, Key: key, Digest: digest, Results: res,
+	})
+}
+
+// GetBlob returns a cached artifact (for example an observed run's
+// clog narrative) stored under an arbitrary key, or ok=false on miss.
+func (c *DiskCache) GetBlob(key string) (data []byte, ok bool) {
+	f, err := os.Open(c.path(key, ".blob"))
+	if err != nil {
+		return nil, false
+	}
+	defer f.Close()
+	var e blobEntry
+	if err := gob.NewDecoder(f).Decode(&e); err != nil ||
+		e.Version != Version || e.Key != key {
+		return nil, false
+	}
+	return e.Data, true
+}
+
+// PutBlob stores an artifact under a key.
+func (c *DiskCache) PutBlob(key string, data []byte) error {
+	return c.write(c.path(key, ".blob"), blobEntry{
+		Version: Version, Key: key, Data: data,
+	})
+}
+
+func (c *DiskCache) write(path string, v any) error {
+	tmp, err := os.CreateTemp(c.dir, "tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	err = gob.NewEncoder(tmp).Encode(v)
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}

@@ -1,0 +1,22 @@
+package runner
+
+import (
+	"fmt"
+
+	"delrep/internal/config"
+)
+
+// Key serializes every run-identifying input of a simulation: the GPU
+// and CPU benchmark names and the complete configuration, including
+// the warm-up and measurement window sizes and the seed. Two specs
+// with equal keys are guaranteed to produce bit-identical results, so
+// the key is safe to use as a memoization and cache-lookup identity.
+//
+// The whole Config is folded in via its %+v rendering rather than a
+// hand-picked field list: an earlier hand-written key omitted
+// WarmupCycles/MeasureCycles, which would have aliased -quick and
+// full-window runs in a shared on-disk cache. Rendering the struct
+// keeps every present and future field run-identifying by default.
+func Key(cfg config.Config, gpu, cpu string) string {
+	return fmt.Sprintf("%s|%s|%+v", gpu, cpu, cfg)
+}

@@ -1,0 +1,275 @@
+// Package runner executes independent simulations in parallel and
+// memoizes their results, in memory and on disk.
+//
+// Each simulation is single-threaded by design — the cycle loop must
+// stay serial and pure (the tickpurity analyzer in cmd/simlint
+// enforces it) — but the evaluation's sweeps are embarrassingly
+// parallel *across* runs: every (config, GPU benchmark, CPU benchmark)
+// triple is an isolated deterministic computation. The Engine exploits
+// exactly that split and nothing more: a bounded worker pool runs
+// whole simulations concurrently, while within each worker the
+// simulator remains the same serial machine the determinism audit
+// certifies.
+//
+// The contract that keeps parallel runs trustworthy:
+//
+//   - Submissions are deduplicated by Key, so one configuration is
+//     simulated at most once per process no matter how many figures
+//     request it.
+//   - A Batch delivers results in declaration order regardless of
+//     completion order; callers that declare their full run set up
+//     front and then consume results in order produce byte-identical
+//     reports at any worker count.
+//   - Each run's end state is summarized by the determinism-audit
+//     digest (core.RunAudit); equality of digests between a serial and
+//     a parallel execution proves the pool changed nothing.
+//   - An optional DiskCache persists results across processes, keyed
+//     by the full run-identifying configuration plus a code-version
+//     salt (see Key and Version).
+//
+// Typical use:
+//
+//	eng := runner.New(runner.Options{Workers: 8, Cache: cache})
+//	b := eng.NewBatch()
+//	for _, g := range benches {
+//		b.Add(runner.Spec{Cfg: cfg, GPU: g, CPU: "vips"})
+//	}
+//	for _, run := range b.Wait() { // declaration order
+//		fmt.Println(run.Results.GPUIPC)
+//	}
+package runner
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"delrep/internal/config"
+	"delrep/internal/core"
+)
+
+// Spec identifies one simulation: a complete configuration plus the
+// GPU and CPU benchmark names. Specs with equal Key share one result.
+type Spec struct {
+	Cfg config.Config
+	GPU string
+	CPU string
+}
+
+// Source records where a run's result came from.
+type Source uint8
+
+const (
+	// SourceExecuted means the simulation ran in this process.
+	SourceExecuted Source = iota
+	// SourceMemo means an earlier submission of the same Spec in this
+	// process supplied the result.
+	SourceMemo
+	// SourceDisk means the on-disk cache supplied the result.
+	SourceDisk
+)
+
+func (s Source) String() string {
+	switch s {
+	case SourceExecuted:
+		return "executed"
+	case SourceMemo:
+		return "memo"
+	case SourceDisk:
+		return "disk"
+	}
+	return "???"
+}
+
+// Run is one delivered simulation result.
+type Run struct {
+	Spec    Spec
+	Results core.Results
+	// Digest is the determinism-audit digest of the simulation's end
+	// state (core.RunAudit); serial and parallel executions of the
+	// same Spec must agree on it bit-for-bit.
+	Digest uint64
+	Source Source
+}
+
+// Counters reports the engine's accounting. Every Submit call resolves
+// to exactly one of the three buckets, so Executed+MemoHits+DiskHits
+// equals the number of submissions.
+type Counters struct {
+	Executed int64 // simulations actually run in this process
+	MemoHits int64 // submissions served by an earlier in-process submission
+	DiskHits int64 // submissions served by the on-disk cache
+}
+
+// Options configures an Engine.
+type Options struct {
+	// Workers bounds concurrent simulations; <=0 selects GOMAXPROCS.
+	Workers int
+	// Cache, when non-nil, persists results across processes.
+	Cache *DiskCache
+	// Progress, when non-nil, receives one line per simulation as it
+	// starts. Writes are serialized (one Write call per line), so
+	// os.Stderr stays readable under concurrency.
+	Progress io.Writer
+}
+
+// Engine is a deterministic parallel execution engine for independent
+// simulations. Methods are safe for concurrent use.
+type Engine struct {
+	cache    *DiskCache
+	progress io.Writer
+	sem      chan struct{}
+
+	mu       sync.Mutex
+	memo     map[string]*Future
+	counters Counters
+}
+
+// New builds an Engine.
+func New(opts Options) *Engine {
+	n := opts.Workers
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{
+		cache:    opts.Cache,
+		progress: opts.Progress,
+		sem:      make(chan struct{}, n),
+		memo:     map[string]*Future{},
+	}
+}
+
+// Workers returns the concurrency bound.
+func (e *Engine) Workers() int { return cap(e.sem) }
+
+// DiskCache returns the engine's on-disk cache (nil if disabled).
+func (e *Engine) DiskCache() *DiskCache { return e.cache }
+
+// Counters returns a snapshot of the engine's accounting.
+func (e *Engine) Counters() Counters {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.counters
+}
+
+// Future is a handle to one submitted simulation.
+type Future struct {
+	spec Spec
+	key  string
+	done chan struct{}
+	run  Run
+}
+
+// Spec returns the submitted spec.
+func (f *Future) Spec() Spec { return f.spec }
+
+// Wait blocks until the simulation completes and returns its Run.
+func (f *Future) Wait() Run {
+	<-f.done
+	return f.run
+}
+
+// Results blocks until the simulation completes and returns its Results.
+func (f *Future) Results() core.Results { return f.Wait().Results }
+
+// Submit schedules one simulation on the pool and returns its Future.
+// A spec whose Key matches an earlier submission returns the earlier
+// Future (counted as a memo hit); otherwise the disk cache is
+// consulted and, on a miss, the simulation executes on a worker.
+func (e *Engine) Submit(spec Spec) *Future {
+	k := Key(spec.Cfg, spec.GPU, spec.CPU)
+	e.mu.Lock()
+	if f, ok := e.memo[k]; ok {
+		//simlint:ignore statsdiscipline harness accounting over the engine's lifetime, not a measurement-window stat
+		e.counters.MemoHits++
+		e.mu.Unlock()
+		return f
+	}
+	f := &Future{spec: spec, key: k, done: make(chan struct{})}
+	e.memo[k] = f
+	e.mu.Unlock()
+	go e.execute(f)
+	return f
+}
+
+// Run submits one simulation and waits for it.
+func (e *Engine) Run(spec Spec) Run { return e.Submit(spec).Wait() }
+
+func (e *Engine) execute(f *Future) {
+	e.sem <- struct{}{}
+	defer func() { <-e.sem }()
+	defer close(f.done)
+
+	if e.cache != nil {
+		if res, digest, ok := e.cache.Get(f.key); ok {
+			e.mu.Lock()
+			//simlint:ignore statsdiscipline harness accounting over the engine's lifetime, not a measurement-window stat
+			e.counters.DiskHits++
+			e.mu.Unlock()
+			f.run = Run{Spec: f.spec, Results: res, Digest: digest, Source: SourceDisk}
+			return
+		}
+	}
+
+	if e.progress != nil {
+		line := fmt.Sprintf("  run %-5s + %-12s %s %s %s...\n",
+			f.spec.GPU, f.spec.CPU, f.spec.Cfg.Scheme,
+			f.spec.Cfg.Layout.Name, f.spec.Cfg.NoC.Topology)
+		e.mu.Lock()
+		io.WriteString(e.progress, line)
+		e.mu.Unlock()
+	}
+
+	a := core.RunAudit(f.spec.Cfg, f.spec.GPU, f.spec.CPU)
+	e.mu.Lock()
+	//simlint:ignore statsdiscipline harness accounting over the engine's lifetime, not a measurement-window stat
+	e.counters.Executed++
+	e.mu.Unlock()
+	f.run = Run{Spec: f.spec, Results: a.Results, Digest: a.Digest, Source: SourceExecuted}
+	if e.cache != nil {
+		// Best effort: a full or read-only cache must not fail the run.
+		_ = e.cache.Put(f.key, a.Digest, a.Results)
+	}
+}
+
+// Batch collects declared runs and delivers their results in
+// declaration order regardless of completion order.
+type Batch struct {
+	e    *Engine
+	futs []*Future
+}
+
+// NewBatch starts an empty batch on the engine.
+func (e *Engine) NewBatch() *Batch { return &Batch{e: e} }
+
+// Add declares one run. The simulation is scheduled immediately; Add
+// never blocks on simulation work.
+func (b *Batch) Add(spec Spec) *Future {
+	f := b.e.Submit(spec)
+	b.futs = append(b.futs, f)
+	return f
+}
+
+// Len returns the number of declared runs.
+func (b *Batch) Len() int { return len(b.futs) }
+
+// Wait blocks until every declared run completes and returns the runs
+// in declaration order.
+func (b *Batch) Wait() []Run {
+	out := make([]Run, len(b.futs))
+	for i, f := range b.futs {
+		out[i] = f.Wait()
+	}
+	return out
+}
+
+// RunAll declares every spec on a fresh batch and waits: results are
+// in spec order.
+func (e *Engine) RunAll(specs []Spec) []Run {
+	b := e.NewBatch()
+	for _, s := range specs {
+		b.Add(s)
+	}
+	return b.Wait()
+}
