@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race lint bench record all
+.PHONY: build test race lint bench profile record all
 
 all: build test lint
 
@@ -20,6 +20,13 @@ lint:
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+# profile runs a representative clogging workload under the CPU and
+# heap profilers; inspect with `go tool pprof cpu.prof` (or heap.prof).
+profile:
+	$(GO) run ./cmd/delrepsim -gpu NN -cpu vips -scheme delegated \
+		-warm 5000 -cycles 20000 -cpuprofile cpu.prof -memprofile heap.prof
+	@echo "wrote cpu.prof and heap.prof; inspect with: go tool pprof cpu.prof"
 
 # record refreshes the checked-in quick-windows evaluation record
 # (parallel, cached; stdout is byte-identical at any -j value).

@@ -23,6 +23,7 @@ import (
 	"delrep/internal/config"
 	"delrep/internal/core"
 	"delrep/internal/obs"
+	"delrep/internal/prof"
 	"delrep/internal/workload"
 )
 
@@ -54,8 +55,17 @@ func main() {
 		sweep    = flag.Bool("sweep", false, "run the -gpu x -cpu x -scheme cross product in parallel")
 		jobs     = flag.Int("j", runtime.GOMAXPROCS(0), "max concurrent simulations (with -sweep)")
 		cacheDir = flag.String("cache", "auto", `on-disk result cache: directory path, "auto" (per-user dir), or "off"`)
+
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer stopProf()
 
 	if *list {
 		var g, c []string
@@ -79,7 +89,6 @@ func main() {
 		cfg.NoC.FlitsPerVC = *vcdepth
 	}
 
-	var err error
 	if cfg.Layout, err = parseLayout(*layout); err != nil {
 		fatalf("%v", err)
 	}

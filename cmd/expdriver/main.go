@@ -27,6 +27,7 @@ import (
 	"sort"
 	"time"
 
+	"delrep/internal/prof"
 	"delrep/internal/runner"
 )
 
@@ -102,8 +103,19 @@ func main() {
 		seed     = flag.Int64("seed", 1, "random seed")
 		jobs     = flag.Int("j", runtime.GOMAXPROCS(0), "max concurrent simulations")
 		cacheDir = flag.String("cache", "auto", `on-disk result cache: directory path, "auto" (per-user dir), or "off"`)
+
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "expdriver: %v\n", err)
+		os.Exit(2)
+	}
+	defer stopProf()
+
 	args := flag.Args()
 	if len(args) == 0 {
 		usage()

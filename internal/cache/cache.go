@@ -23,19 +23,28 @@ func (c Config) Sets() int { return c.SizeBytes / (c.Assoc * c.LineBytes) }
 // Line converts a byte address to a line address.
 func (c Config) Line(a Addr) Addr { return a / Addr(c.LineBytes) }
 
-type way struct {
-	line  Addr
-	valid bool
-	dirty bool
-	aux   uint32 // user payload, e.g. LLC core pointer (0 = invalid pointer)
-	used  uint64 // LRU timestamp
-}
+// noLine marks an absent way in the tag array. Real line addresses are
+// 48-bit byte addresses divided by the line size, so they can never
+// collide with the sentinel.
+const noLine = ^Addr(0)
 
 // Cache is a set-associative, LRU-replacement cache indexed by line
 // address. It is a tag store only; data contents are not simulated.
+//
+// Way state is held struct-of-arrays with a set's ways at assoc
+// consecutive indices: a tag probe — the hottest operation in the
+// simulator — scans one contiguous run of line addresses instead of
+// striding across per-way structs, and an absent way is encoded as the
+// noLine sentinel so the scan needs no separate valid-bit load.
 type Cache struct {
 	cfg   Config
-	sets  [][]way
+	assoc int
+	nsets int
+
+	lines []Addr   // tag per way, noLine when absent
+	dirty []bool   // dirty bit per way
+	aux   []uint32 // user payload, e.g. LLC core pointer (0 = invalid pointer)
+	used  []uint64 // LRU timestamp per way
 	clock uint64
 
 	Accesses int64
@@ -44,13 +53,22 @@ type Cache struct {
 
 // New builds a cache with the given geometry.
 func New(cfg Config) *Cache {
-	sets := cfg.Sets()
-	if sets <= 0 {
+	nsets := cfg.Sets()
+	if nsets <= 0 {
 		panic(fmt.Sprintf("cache: bad geometry %+v", cfg))
 	}
-	c := &Cache{cfg: cfg, sets: make([][]way, sets)}
-	for i := range c.sets {
-		c.sets[i] = make([]way, cfg.Assoc)
+	n := nsets * cfg.Assoc
+	c := &Cache{
+		cfg:   cfg,
+		assoc: cfg.Assoc,
+		nsets: nsets,
+		lines: make([]Addr, n),
+		dirty: make([]bool, n),
+		aux:   make([]uint32, n),
+		used:  make([]uint64, n),
+	}
+	for i := range c.lines {
+		c.lines[i] = noLine
 	}
 	return c
 }
@@ -58,12 +76,24 @@ func New(cfg Config) *Cache {
 // Config returns the cache geometry.
 func (c *Cache) Config() Config { return c.cfg }
 
-func (c *Cache) set(line Addr) []way {
+func (c *Cache) setIndex(line Addr) int {
 	// Index with a Fibonacci hash, taking the product's high bits: the
 	// low bits of consecutive multiples share common factors with the
 	// set count and would alias sequential sweeps into few sets.
 	h := uint64(line) * 0x9e3779b97f4a7c15
-	return c.sets[(h>>32)%uint64(len(c.sets))]
+	return int((h >> 32) % uint64(c.nsets))
+}
+
+// find returns the flat way index holding line, or -1.
+func (c *Cache) find(line Addr) int {
+	base := c.setIndex(line) * c.assoc
+	tags := c.lines[base : base+c.assoc]
+	for i := range tags {
+		if tags[i] == line {
+			return base + i
+		}
+	}
+	return -1
 }
 
 // Lookup probes the cache for a line; on a hit it updates LRU state and
@@ -71,25 +101,49 @@ func (c *Cache) set(line Addr) []way {
 func (c *Cache) Lookup(line Addr) (hit bool, aux uint32) {
 	c.Accesses++
 	c.clock++
-	set := c.set(line)
-	for i := range set {
-		if set[i].valid && set[i].line == line {
-			set[i].used = c.clock
-			c.Hits++
-			return true, set[i].aux
-		}
+	if j := c.find(line); j >= 0 {
+		c.used[j] = c.clock
+		c.Hits++
+		return true, c.aux[j]
 	}
 	return false, 0
+}
+
+// Probe scans for a line without side effects and, on a hit, returns
+// the flat way index so the caller can commit the lookup later with
+// CommitHit (or account a known miss with RecordMiss) without
+// rescanning the set. Together the three methods let hit/miss decision
+// points that must defer their bookkeeping (e.g. until buffer space is
+// confirmed) pay for exactly one tag scan while evolving the access
+// counters, hit counters, and LRU clock identically to Lookup.
+func (c *Cache) Probe(line Addr) (hit bool, aux uint32, way int) {
+	if j := c.find(line); j >= 0 {
+		return true, c.aux[j], j
+	}
+	return false, 0, -1
+}
+
+// CommitHit applies the side effects Lookup would have had for a hit
+// previously located by Probe.
+func (c *Cache) CommitHit(way int) {
+	c.Accesses++
+	c.clock++
+	c.used[way] = c.clock
+	c.Hits++
+}
+
+// RecordMiss applies the side effects Lookup has on a miss, for
+// callers that already know (via Probe) the line is absent.
+func (c *Cache) RecordMiss() {
+	c.Accesses++
+	c.clock++
 }
 
 // Peek probes without updating LRU or statistics (used by coherence
 // probes and invariant checks).
 func (c *Cache) Peek(line Addr) (hit bool, aux uint32) {
-	set := c.set(line)
-	for i := range set {
-		if set[i].valid && set[i].line == line {
-			return true, set[i].aux
-		}
+	if j := c.find(line); j >= 0 {
+		return true, c.aux[j]
 	}
 	return false, 0
 }
@@ -98,25 +152,28 @@ func (c *Cache) Peek(line Addr) (hit bool, aux uint32) {
 // dirty flag. It returns the victim line if a valid line was evicted.
 func (c *Cache) Insert(line Addr, aux uint32, dirty bool) (victim Addr, victimDirty, evicted bool) {
 	c.clock++
-	set := c.set(line)
-	lru := 0
-	for i := range set {
-		if set[i].valid && set[i].line == line {
-			set[i].aux = aux
-			set[i].dirty = set[i].dirty || dirty
-			set[i].used = c.clock
+	base := c.setIndex(line) * c.assoc
+	lru := base
+	for j := base; j < base+c.assoc; j++ {
+		if c.lines[j] == line {
+			c.aux[j] = aux
+			c.dirty[j] = c.dirty[j] || dirty
+			c.used[j] = c.clock
 			return 0, false, false
 		}
-		if !set[i].valid {
-			lru = i
-		} else if set[lru].valid && set[i].used < set[lru].used {
-			lru = i
+		if c.lines[j] == noLine {
+			lru = j
+		} else if c.lines[lru] != noLine && c.used[j] < c.used[lru] {
+			lru = j
 		}
 	}
-	v := set[lru]
-	set[lru] = way{line: line, valid: true, dirty: dirty, aux: aux, used: c.clock}
-	if v.valid {
-		return v.line, v.dirty, true
+	vLine, vDirty := c.lines[lru], c.dirty[lru]
+	c.lines[lru] = line
+	c.dirty[lru] = dirty
+	c.aux[lru] = aux
+	c.used[lru] = c.clock
+	if vLine != noLine {
+		return vLine, vDirty, true
 	}
 	return 0, false, false
 }
@@ -124,24 +181,18 @@ func (c *Cache) Insert(line Addr, aux uint32, dirty bool) (victim Addr, victimDi
 // SetAux updates the aux value of a resident line; it reports whether
 // the line was present.
 func (c *Cache) SetAux(line Addr, aux uint32) bool {
-	set := c.set(line)
-	for i := range set {
-		if set[i].valid && set[i].line == line {
-			set[i].aux = aux
-			return true
-		}
+	if j := c.find(line); j >= 0 {
+		c.aux[j] = aux
+		return true
 	}
 	return false
 }
 
 // Invalidate removes a line if present and reports whether it was there.
 func (c *Cache) Invalidate(line Addr) bool {
-	set := c.set(line)
-	for i := range set {
-		if set[i].valid && set[i].line == line {
-			set[i].valid = false
-			return true
-		}
+	if j := c.find(line); j >= 0 {
+		c.lines[j] = noLine
+		return true
 	}
 	return false
 }
@@ -150,12 +201,10 @@ func (c *Cache) Invalidate(line Addr) bool {
 // coherence) and returns the number of lines dropped.
 func (c *Cache) InvalidateAll() int {
 	n := 0
-	for s := range c.sets {
-		for i := range c.sets[s] {
-			if c.sets[s][i].valid {
-				c.sets[s][i].valid = false
-				n++
-			}
+	for j := range c.lines {
+		if c.lines[j] != noLine {
+			c.lines[j] = noLine
+			n++
 		}
 	}
 	return n
@@ -164,21 +213,17 @@ func (c *Cache) InvalidateAll() int {
 // ClearAux zeroes the aux value of every resident line (LLC pointer
 // invalidation on GPU L1 flush).
 func (c *Cache) ClearAux() {
-	for s := range c.sets {
-		for i := range c.sets[s] {
-			c.sets[s][i].aux = 0
-		}
+	for j := range c.aux {
+		c.aux[j] = 0
 	}
 }
 
 // Occupancy returns the number of valid lines.
 func (c *Cache) Occupancy() int {
 	n := 0
-	for s := range c.sets {
-		for i := range c.sets[s] {
-			if c.sets[s][i].valid {
-				n++
-			}
+	for j := range c.lines {
+		if c.lines[j] != noLine {
+			n++
 		}
 	}
 	return n

@@ -63,9 +63,9 @@ func TestLRUEviction(t *testing.T) {
 	// insert the third: the second must be evicted.
 	c := small()
 	var same []Addr
-	base := c.set(Addr(0))
+	base := c.setIndex(Addr(0))
 	for l := Addr(0); len(same) < 3; l++ {
-		if &c.set(l)[0] == &base[0] {
+		if c.setIndex(l) == base {
 			same = append(same, l)
 		}
 	}
@@ -99,9 +99,9 @@ func TestInsertUpdatesInPlace(t *testing.T) {
 func TestDirtyEviction(t *testing.T) {
 	c := small()
 	var same []Addr
-	base := c.set(Addr(0))
+	base := c.setIndex(Addr(0))
 	for l := Addr(0); len(same) < 3; l++ {
-		if &c.set(l)[0] == &base[0] {
+		if c.setIndex(l) == base {
 			same = append(same, l)
 		}
 	}

@@ -3,6 +3,7 @@ package core
 import (
 	"delrep/internal/cache"
 	"delrep/internal/config"
+	"delrep/internal/fifo"
 	"delrep/internal/gpu"
 	"delrep/internal/noc"
 )
@@ -82,6 +83,7 @@ func newCluster(sys *System, id int, cores []*GPUCore) *Cluster {
 				LineBytes: sys.Cfg.GPU.L1LineBytes,
 			}),
 			mshr: cache.NewMSHR(sys.Cfg.GPU.L1MSHRs),
+			q:    make([]sliceReq, 0, sliceQCap),
 			host: cores[(i*len(cores))/ClusterSlices],
 		})
 	}
@@ -140,7 +142,7 @@ func (c *Cluster) ServeRemote(g *GPUCore, m *Msg) bool {
 			return false
 		}
 		g.Stats.FRQRemoteHits++
-		g.send(&Msg{Type: MsgReply, Line: m.Line, Requester: m.Requester, Kind: ReplyRemoteHit, Born: m.Born, Acct: m.Acct},
+		g.send(Msg{Type: MsgReply, Line: m.Line, Requester: m.Requester, Kind: ReplyRemoteHit, Born: m.Born, Acct: m.Acct},
 			m.Requester, noc.ClassReply, noc.PrioGPU, g.sys.gpuReplyFlits)
 		return true
 	}
@@ -169,7 +171,7 @@ func (c *Cluster) HandleFill(host *GPUCore, m *Msg) (handled, done bool) {
 			tgt.owner.SM.LoadDone(tgt.Warp)
 		}
 		if tgt.Remote >= 0 {
-			host.send(&Msg{Type: MsgReply, Line: m.Line, Requester: tgt.Remote, Kind: ReplyRemoteHit, Born: tgt.Born, Acct: tgt.Acct},
+			host.send(Msg{Type: MsgReply, Line: m.Line, Requester: tgt.Remote, Kind: ReplyRemoteHit, Born: tgt.Born, Acct: tgt.Acct},
 				tgt.Remote, noc.ClassReply, noc.PrioGPU, host.sys.gpuReplyFlits)
 		}
 	}
@@ -197,14 +199,14 @@ func (c *Cluster) serveSlice(sl *slice) {
 	if hit, _ := sl.cache.Lookup(req.line); hit {
 		c.Stats.SliceHits++
 		req.core.SM.LoadDone(req.warp)
-		sl.q = sl.q[1:]
+		sl.q, _ = fifo.PopFront(sl.q)
 		return
 	}
 	c.Stats.SliceMisses++
 	req.core.Stats.L1ReadMisses++
 	if _, out := sl.mshr.Lookup(req.line); out {
 		sl.mshr.Merge(req.line, clusterTarget(req))
-		sl.q = sl.q[1:]
+		sl.q, _ = fifo.PopFront(sl.q)
 		return
 	}
 	if sl.mshr.FullNow() || sl.host.reqFree() < 1 {
@@ -213,7 +215,7 @@ func (c *Cluster) serveSlice(sl *slice) {
 	c.sys.sampleLocality(req.core, req.line)
 	sl.mshr.Allocate(req.line, clusterTarget(req))
 	sl.host.sendLLCRead(req.line, sl.host.Node, false, c.sys.cycle, NetAcct{})
-	sl.q = sl.q[1:]
+	sl.q, _ = fifo.PopFront(sl.q)
 }
 
 // dynEB samples one epoch of each organisation, then commits to the one

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 
 	"delrep/internal/cache"
+	"delrep/internal/fifo"
 	"delrep/internal/gpu"
 	"delrep/internal/noc"
 )
@@ -102,6 +103,11 @@ func newGPUCore(sys *System, node, idx int) *GPUCore {
 		rpPending: make(map[cache.Addr]*probeState),
 		frqMerged: make(map[cache.Addr][]*Msg),
 	}
+	// Queue backing arrays are preallocated to their capacities; the
+	// steady-state tick path pops and appends without reallocating.
+	g.outReq = make([]*noc.Packet, 0, outboxCap)
+	g.outRep = make([]*noc.Packet, 0, outboxCap)
+	g.frq = make([]*noc.Packet, 0, sys.Cfg.GPU.FRQEntries)
 	return g
 }
 
@@ -125,17 +131,17 @@ func (g *GPUCore) accessPrivate(line cache.Addr, write bool, warp int) gpu.Acces
 	if write {
 		return g.writeThrough(line)
 	}
-	if hit, _ := g.l1.Peek(line); hit {
+	if hit, _, way := g.l1.Probe(line); hit {
 		g.budget--
 		g.Stats.L1Accesses++
-		g.l1.Lookup(line) // record the hit and update LRU
+		g.l1.CommitHit(way) // record the hit and update LRU
 		return gpu.AccessHit
 	}
 	if _, out := g.mshr.Lookup(line); out {
 		g.budget--
 		g.Stats.L1Accesses++
 		g.Stats.L1ReadMisses++
-		g.l1.Lookup(line)
+		g.l1.RecordMiss()
 		g.mshr.Merge(line, mshrTarget{Warp: warp, Remote: -1})
 		return gpu.AccessMiss
 	}
@@ -145,7 +151,7 @@ func (g *GPUCore) accessPrivate(line cache.Addr, write bool, warp int) gpu.Acces
 	g.budget--
 	g.Stats.L1Accesses++
 	g.Stats.L1ReadMisses++
-	g.l1.Lookup(line)
+	g.l1.RecordMiss()
 	g.sys.sampleLocality(g, line)
 	g.mshr.Allocate(line, mshrTarget{Warp: warp, Remote: -1})
 	if g.sys.isRP() && g.predictProbe() {
@@ -166,7 +172,7 @@ func (g *GPUCore) writeThrough(line cache.Addr) gpu.AccessResult {
 	g.Stats.Writes++
 	// The local copy is updated in place (write-through keeps it clean).
 	g.outWrites++
-	g.send(&Msg{Type: MsgGPUWrite, Line: line, Requester: g.Node},
+	g.send(Msg{Type: MsgGPUWrite, Line: line, Requester: g.Node},
 		g.sys.memNodeFor(line), noc.ClassRequest, noc.PrioGPU, g.sys.writeFlits)
 	return gpu.AccessHit
 }
@@ -178,13 +184,14 @@ func (g *GPUCore) sendLLCRead(line cache.Addr, requester int, dnf bool, born int
 	if dnf {
 		prio = noc.PrioRemote
 	}
-	g.send(&Msg{Type: MsgGPURead, Line: line, Requester: requester, DNF: dnf, Born: born, Acct: acct},
+	g.send(Msg{Type: MsgGPURead, Line: line, Requester: requester, DNF: dnf, Born: born, Acct: acct},
 		g.sys.memNodeFor(line), noc.ClassRequest, prio, 1)
 }
 
-// send queues a packet on the class outbox (drained in Tick).
-func (g *GPUCore) send(m *Msg, dst int, class noc.Class, prio noc.Priority, flits int) {
-	p := g.sys.newPacket(g.Node, dst, class, prio, flits, m)
+// send queues a packet on the class outbox (drained in Tick). The
+// message value is materialized through the System free list.
+func (g *GPUCore) send(m Msg, dst int, class noc.Class, prio noc.Priority, flits int) {
+	p := g.sys.newPacket(g.Node, dst, class, prio, flits, g.sys.msgOf(m))
 	if class == noc.ClassRequest {
 		g.outReq = append(g.outReq, p)
 	} else {
@@ -208,8 +215,10 @@ func (g *GPUCore) HandlePacket(p *noc.Packet) bool {
 				g.Stats.FRQSameLine++
 				if g.sys.Cfg.DelRep.FRQMerge {
 					// Idealized multicast: one L1 access will serve
-					// both requesters.
+					// both requesters. frqMerged keeps only the Msg;
+					// the carrier packet dies here.
 					g.frqMerged[m.Line] = append(g.frqMerged[m.Line], m)
+					g.sys.freePacket(p)
 					return true
 				}
 				break
@@ -221,13 +230,24 @@ func (g *GPUCore) HandlePacket(p *noc.Packet) bool {
 		g.frq = append(g.frq, p)
 		return true
 	case MsgProbe:
-		return g.handleProbe(m)
+		if g.handleProbe(m) {
+			g.sys.retire(p)
+			return true
+		}
+		return false
 	case MsgProbeNack:
-		return g.handleProbeNack(m)
+		g.handleProbeNack(m)
+		g.sys.retire(p)
+		return true
 	case MsgReply:
-		return g.handleReply(m)
+		if g.handleReply(m) {
+			g.sys.retire(p)
+			return true
+		}
+		return false
 	case MsgWriteAck:
 		g.outWrites--
+		g.sys.retire(p)
 		return true
 	}
 	panic("core: unexpected message at GPU core: " + m.Type.String())
@@ -241,10 +261,10 @@ func (g *GPUCore) handleProbe(m *Msg) bool {
 	g.budget--
 	hit := g.probeLocal(m.Line)
 	if hit {
-		g.send(&Msg{Type: MsgReply, Line: m.Line, Requester: m.Requester, Kind: ReplyProbeHit, Born: m.Born, Acct: m.Acct},
+		g.send(Msg{Type: MsgReply, Line: m.Line, Requester: m.Requester, Kind: ReplyProbeHit, Born: m.Born, Acct: m.Acct},
 			m.Requester, noc.ClassReply, noc.PrioGPU, g.sys.gpuReplyFlits)
 	} else {
-		g.send(&Msg{Type: MsgProbeNack, Line: m.Line, Requester: m.Requester, Born: m.Born, Acct: m.Acct},
+		g.send(Msg{Type: MsgProbeNack, Line: m.Line, Requester: m.Requester, Born: m.Born, Acct: m.Acct},
 			m.Requester, noc.ClassReply, noc.PrioGPU, 1)
 	}
 	return true
@@ -322,7 +342,7 @@ func (g *GPUCore) fillAndWake(line cache.Addr) {
 		}
 		if tgt.Remote >= 0 {
 			g.Stats.FRQDelayedHits++
-			g.send(&Msg{Type: MsgReply, Line: line, Requester: tgt.Remote, Kind: ReplyRemoteHit, Born: tgt.Born, Acct: tgt.Acct},
+			g.send(Msg{Type: MsgReply, Line: line, Requester: tgt.Remote, Kind: ReplyRemoteHit, Born: tgt.Born, Acct: tgt.Acct},
 				tgt.Remote, noc.ClassReply, noc.PrioGPU, g.sys.gpuReplyFlits)
 		}
 	}
@@ -356,14 +376,14 @@ func (g *GPUCore) drainOutbox() {
 		if !reqNI.Inject(g.outReq[0]) {
 			break
 		}
-		g.outReq = g.outReq[1:]
+		g.outReq, _ = fifo.PopFront(g.outReq)
 	}
 	repNI := g.sys.repNI(g.Node)
 	for len(g.outRep) > 0 && repNI.CanInject(noc.ClassReply) {
 		if !repNI.Inject(g.outRep[0]) {
 			break
 		}
-		g.outRep = g.outRep[1:]
+		g.outRep, _ = fifo.PopFront(g.outRep)
 	}
 }
 
@@ -373,13 +393,15 @@ func (g *GPUCore) drainOutbox() {
 // LLC with the DNF bit set, without allocating a local MSHR entry.
 func (g *GPUCore) serveFRQ() {
 	for g.budget > 0 && len(g.frq) > 0 {
-		m := g.frq[0].Payload.(*Msg)
+		p := g.frq[0]
+		m := p.Payload.(*Msg)
 		if g.cluster != nil && g.cluster.Shared() {
 			if !g.cluster.ServeRemote(g, m) {
 				return
 			}
 			g.budget--
-			g.frq = g.frq[1:]
+			g.frq, _ = fifo.PopFront(g.frq)
+			g.sys.retire(p)
 			continue
 		}
 		hit, _ := g.l1.Peek(m.Line)
@@ -389,7 +411,7 @@ func (g *GPUCore) serveFRQ() {
 				return
 			}
 			g.Stats.FRQRemoteHits++
-			g.send(&Msg{Type: MsgReply, Line: m.Line, Requester: m.Requester, Kind: ReplyRemoteHit, Born: m.Born, Acct: m.Acct},
+			g.send(Msg{Type: MsgReply, Line: m.Line, Requester: m.Requester, Kind: ReplyRemoteHit, Born: m.Born, Acct: m.Acct},
 				m.Requester, noc.ClassReply, noc.PrioGPU, g.sys.gpuReplyFlits)
 		default:
 			if _, out := g.mshr.Lookup(m.Line); out {
@@ -406,7 +428,8 @@ func (g *GPUCore) serveFRQ() {
 		}
 		g.budget--
 		g.serveMerged(m)
-		g.frq = g.frq[1:]
+		g.frq, _ = fifo.PopFront(g.frq)
+		g.sys.retire(p)
 	}
 }
 
@@ -427,7 +450,7 @@ func (g *GPUCore) serveMerged(head *Msg) {
 		switch {
 		case hit:
 			g.Stats.FRQRemoteHits++
-			g.send(&Msg{Type: MsgReply, Line: m.Line, Requester: m.Requester, Kind: ReplyRemoteHit, Born: m.Born, Acct: m.Acct},
+			g.send(Msg{Type: MsgReply, Line: m.Line, Requester: m.Requester, Kind: ReplyRemoteHit, Born: m.Born, Acct: m.Acct},
 				m.Requester, noc.ClassReply, noc.PrioGPU, g.sys.gpuReplyFlits)
 		default:
 			if _, out := g.mshr.Lookup(m.Line); out {
@@ -437,6 +460,7 @@ func (g *GPUCore) serveMerged(head *Msg) {
 				g.sendLLCRead(m.Line, m.Requester, true, m.Born, m.Acct)
 			}
 		}
+		g.sys.freeMsg(m)
 	}
 }
 
@@ -475,7 +499,7 @@ func (g *GPUCore) sendProbes(line cache.Addr) {
 	g.rpPending[line] = &probeState{awaiting: n}
 	for i := 0; i < n; i++ {
 		g.Stats.ProbesSent++
-		g.send(&Msg{Type: MsgProbe, Line: line, Requester: g.Node, Born: g.sys.cycle},
+		g.send(Msg{Type: MsgProbe, Line: line, Requester: g.Node, Born: g.sys.cycle},
 			g.probeTargets[i], noc.ClassRequest, noc.PrioGPU, 1)
 	}
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"delrep/internal/cache"
 	"delrep/internal/dram"
+	"delrep/internal/fifo"
 	"delrep/internal/noc"
 )
 
@@ -59,8 +60,10 @@ func newMemNode(sys *System, node, idx int) *MemNode {
 			Assoc:     sys.Cfg.LLC.Assoc,
 			LineBytes: sys.Cfg.LLC.LineBytes,
 		}),
-		mshr: cache.NewMSHR(sys.Cfg.LLC.MSHRs),
-		mc:   dram.New(sys.Cfg.DRAM),
+		mshr:  cache.NewMSHR(sys.Cfg.LLC.MSHRs),
+		mc:    dram.New(sys.Cfg.DRAM),
+		wbQ:   make([]cache.Addr, 0, wbQCap),
+		compQ: make([]*dram.Request, 0, wbQCap),
 	}
 }
 
@@ -91,9 +94,17 @@ func (m *MemNode) HandlePacket(p *noc.Packet) bool {
 	msg.absorbPacket(p)
 	switch msg.Type {
 	case MsgGPURead, MsgCPURead:
-		return m.handleRead(msg)
+		if m.handleRead(msg) {
+			m.sys.retire(p)
+			return true
+		}
+		return false
 	case MsgGPUWrite:
-		return m.handleWrite(msg)
+		if m.handleWrite(msg) {
+			m.sys.retire(p)
+			return true
+		}
+		return false
 	}
 	panic("core: unexpected message at memory node: " + msg.Type.String())
 }
@@ -105,7 +116,7 @@ func (m *MemNode) handleRead(msg *Msg) bool {
 	}
 	isCPU := msg.Type == MsgCPURead
 	repNI := m.sys.repNI(m.Node)
-	if hit, aux := m.llc.Peek(msg.Line); hit {
+	if hit, aux, way := m.llc.Probe(msg.Line); hit {
 		// An LLC hit needs injection-buffer space for its reply; a full
 		// buffer blocks the memory node (the clogging mechanism).
 		if !repNI.CanInject(noc.ClassReply) {
@@ -115,7 +126,7 @@ func (m *MemNode) handleRead(msg *Msg) bool {
 		m.llcQuota--
 		m.Stats.Requests++
 		m.Stats.LLCHits++
-		m.llc.Lookup(msg.Line)
+		m.llc.CommitHit(way)
 		kind := ReplyLLCHit
 		if msg.DNF {
 			kind = ReplyRemoteMiss
@@ -132,7 +143,7 @@ func (m *MemNode) handleRead(msg *Msg) bool {
 		m.llcQuota--
 		m.Stats.Requests++
 		m.Stats.LLCMisses++
-		m.llc.Lookup(msg.Line)
+		m.llc.RecordMiss()
 		m.mshr.Merge(msg.Line, replyTarget{Node: msg.Requester, CPU: isCPU, Born: msg.Born, Acct: msg.Acct})
 		return true
 	}
@@ -143,7 +154,7 @@ func (m *MemNode) handleRead(msg *Msg) bool {
 	m.llcQuota--
 	m.Stats.Requests++
 	m.Stats.LLCMisses++
-	m.llc.Lookup(msg.Line)
+	m.llc.RecordMiss()
 	m.mshr.Allocate(msg.Line, replyTarget{Node: msg.Requester, CPU: isCPU, Born: msg.Born, Acct: msg.Acct})
 	m.mc.Enqueue(&dram.Request{Line: msg.Line, Arrived: m.sys.cycle})
 	return true
@@ -162,22 +173,22 @@ func (m *MemNode) handleWrite(msg *Msg) bool {
 		m.refuse()
 		return false
 	}
-	if hit, _ := m.llc.Peek(msg.Line); hit {
-		m.llc.Lookup(msg.Line)
+	if hit, _, way := m.llc.Probe(msg.Line); hit {
+		m.llc.CommitHit(way)
 		m.llc.Insert(msg.Line, 0, true) // update in place, pointer invalidated
 	} else {
 		if !m.mc.CanAccept() {
 			m.refuse()
 			return false
 		}
-		m.llc.Lookup(msg.Line)
+		m.llc.RecordMiss()
 		m.mc.Enqueue(&dram.Request{Line: msg.Line, Write: true, Arrived: m.sys.cycle})
 	}
 	m.llcQuota--
 	m.Stats.Requests++
 	m.Stats.Writes++
 	ack := m.sys.newPacket(m.Node, msg.Requester, noc.ClassReply, noc.PrioGPU, 1,
-		&Msg{Type: MsgWriteAck, Line: msg.Line, Requester: msg.Requester, Acct: msg.Acct})
+		m.sys.msgOf(Msg{Type: MsgWriteAck, Line: msg.Line, Requester: msg.Requester, Acct: msg.Acct}))
 	ack.ReadyAt = m.sys.cycle + int64(m.sys.Cfg.LLC.Latency)
 	repNI.Inject(ack)
 	return true
@@ -198,7 +209,7 @@ func (m *MemNode) injectReply(line cache.Addr, dst int, isCPU bool, kind ReplyKi
 		flits = m.sys.cpuReplyFlits
 		prio = noc.PrioCPU
 	}
-	msg := &Msg{Type: MsgReply, Line: line, Requester: dst, Kind: kind, Sharer: sharer, DNF: dnf, Born: born, Acct: acct}
+	msg := m.sys.msgOf(Msg{Type: MsgReply, Line: line, Requester: dst, Kind: kind, Sharer: sharer, DNF: dnf, Born: born, Acct: acct})
 	p := m.sys.newPacket(m.Node, dst, noc.ClassReply, prio, flits, msg)
 	p.ReadyAt = m.sys.cycle + int64(m.sys.Cfg.LLC.Latency)
 	m.sys.repNI(m.Node).Inject(p)
@@ -207,15 +218,23 @@ func (m *MemNode) injectReply(line cache.Addr, dst int, isCPU bool, kind ReplyKi
 // Tick advances DRAM, drains completions and write-backs, and runs the
 // delegation engine.
 func (m *MemNode) Tick() {
-	// DRAM completions fill the LLC and produce replies.
-	for _, r := range m.mc.Tick(m.sys.cycle) {
-		if r.Write {
-			continue
+	// DRAM completions fill the LLC and produce replies. The controller
+	// keys every decision off absolute cycle numbers, so ticking it only
+	// while requests are outstanding is behaviour-preserving.
+	if m.mc.Outstanding() > 0 {
+		for _, r := range m.mc.Tick(m.sys.cycle) {
+			if r.Write {
+				continue
+			}
+			m.compQ = append(m.compQ, r)
 		}
-		m.compQ = append(m.compQ, r)
 	}
-	m.drainCompletions()
-	m.drainWriteBacks()
+	if len(m.compQ) > 0 {
+		m.drainCompletions()
+	}
+	if len(m.wbQ) > 0 {
+		m.drainWriteBacks()
+	}
 	if m.sys.isDelegated() {
 		m.delegate()
 	}
@@ -230,7 +249,7 @@ func (m *MemNode) drainCompletions() {
 		r := m.compQ[0]
 		entry, ok := m.mshr.Lookup(r.Line)
 		if !ok {
-			m.compQ = m.compQ[1:]
+			m.compQ, _ = fifo.PopFront(m.compQ)
 			continue // duplicate completion; nothing outstanding
 		}
 		if repNI.InjCap(noc.ClassReply)-repNI.InjLen(noc.ClassReply) < len(entry.Targets) {
@@ -252,14 +271,14 @@ func (m *MemNode) drainCompletions() {
 			tgt := t.(replyTarget)
 			m.injectReply(r.Line, tgt.Node, tgt.CPU, ReplyDRAM, -1, false, tgt.Born, tgt.Acct)
 		}
-		m.compQ = m.compQ[1:]
+		m.compQ, _ = fifo.PopFront(m.compQ)
 	}
 }
 
 func (m *MemNode) drainWriteBacks() {
 	for len(m.wbQ) > 0 && m.mc.CanAccept() {
 		m.mc.Enqueue(&dram.Request{Line: m.wbQ[0], Write: true, Arrived: m.sys.cycle})
-		m.wbQ = m.wbQ[1:]
+		m.wbQ, _ = fifo.PopFront(m.wbQ)
 	}
 }
 
@@ -303,9 +322,12 @@ func (m *MemNode) delegate() {
 		}
 		acct.Delegs++
 		d := m.sys.newPacket(m.Node, msg.Sharer, noc.ClassRequest, noc.PrioRemote, 1,
-			&Msg{Type: MsgDelegated, Line: msg.Line, Requester: msg.Requester, Sharer: msg.Sharer, Born: msg.Born, Acct: acct})
+			m.sys.msgOf(Msg{Type: MsgDelegated, Line: msg.Line, Requester: msg.Requester, Sharer: msg.Sharer, Born: msg.Born, Acct: acct}))
 		m.sys.noteDelegated(stuck, d)
 		reqNI.Inject(d)
+		// The stuck reply was consumed by the delegation (the observer
+		// copied its trace); it dies here.
+		m.sys.retire(stuck)
 		m.Stats.Delegations++
 		budget--
 	}

@@ -1,0 +1,76 @@
+package core
+
+import "delrep/internal/noc"
+
+// pool is the System's free-list for packets and messages. The inner
+// loop creates and consumes one Packet+Msg pair per protocol step;
+// recycling them through a per-System LIFO keeps the steady-state
+// tick path allocation-free.
+//
+// Determinism: unlike sync.Pool, reuse order is a pure function of
+// the simulation itself (LIFO over the deterministic retire order),
+// and every field is scrubbed on free, so a recycled object is
+// indistinguishable from a fresh allocation. Nothing observable —
+// digests included — depends on whether pooling is enabled.
+//
+// Ownership rule: a packet is retired exactly once, at the point the
+// protocol consumes it — a handler that refuses delivery
+// (back-pressure) must not retire, because the NI redelivers the same
+// packet next cycle. Two structures outlive their carrier asymmetrically:
+// the FRQ retains delegated packets until served (retired in
+// serveFRQ), and frqMerged retains only the Msg after its packet died
+// (freed in serveMerged).
+type pool struct {
+	pkts []*noc.Packet
+	msgs []*Msg
+}
+
+// allocPacket returns a scrubbed packet from the free list, or a new
+// one when the list is empty.
+func (s *System) allocPacket() *noc.Packet {
+	if n := len(s.pool.pkts); n > 0 {
+		p := s.pool.pkts[n-1]
+		s.pool.pkts[n-1] = nil
+		s.pool.pkts = s.pool.pkts[:n-1]
+		return p
+	}
+	return &noc.Packet{}
+}
+
+// freePacket scrubs a packet and pushes it on the free list. The
+// scrub drops every reference (Payload, Trace) and zeroes all
+// bookkeeping so reuse cannot leak state between transactions.
+func (s *System) freePacket(p *noc.Packet) {
+	*p = noc.Packet{}
+	s.pool.pkts = append(s.pool.pkts, p)
+}
+
+// freeMsg scrubs a message and pushes it on the free list.
+func (s *System) freeMsg(m *Msg) {
+	*m = Msg{}
+	s.pool.msgs = append(s.pool.msgs, m)
+}
+
+// msgOf copies a message value into a pooled message. Protocol code
+// builds Msg literals on the stack; this is the only place they are
+// materialized on the heap.
+func (s *System) msgOf(v Msg) *Msg {
+	var m *Msg
+	if n := len(s.pool.msgs); n > 0 {
+		m = s.pool.msgs[n-1]
+		s.pool.msgs[n-1] = nil
+		s.pool.msgs = s.pool.msgs[:n-1]
+	} else {
+		m = new(Msg)
+	}
+	*m = v
+	return m
+}
+
+// retire returns a consumed packet and its message to the free lists.
+func (s *System) retire(p *noc.Packet) {
+	if m, ok := p.Payload.(*Msg); ok {
+		s.freeMsg(m)
+	}
+	s.freePacket(p)
+}

@@ -43,6 +43,7 @@ type System struct {
 	warmed int64 // cycle at which stats were last reset
 	pktID  uint64
 	rng    *rand.Rand
+	pool   pool // deterministic Packet/Msg free lists (see pool.go)
 
 	// Inter-core locality sampling (Figure 2): on a sampled subset of
 	// L1 read misses, check whether any remote GPU L1 holds the line.
@@ -350,13 +351,14 @@ func (s *System) memNodeFor(line cache.Addr) int {
 	return s.memNodes[(h>>32)%uint64(len(s.memNodes))]
 }
 
-// newPacket constructs a packet with a fresh id.
+// newPacket constructs a packet with a fresh id. The packet comes
+// from the free list (scrubbed on retire), so untouched fields are
+// zero exactly as in a fresh allocation.
 func (s *System) newPacket(src, dst int, class noc.Class, prio noc.Priority, flits int, m *Msg) *noc.Packet {
 	s.pktID++
-	p := &noc.Packet{
-		ID: s.pktID, Src: src, Dst: dst,
-		Class: class, Prio: prio, SizeFlits: flits, Payload: m,
-	}
+	p := s.allocPacket()
+	p.ID, p.Src, p.Dst = s.pktID, src, dst
+	p.Class, p.Prio, p.SizeFlits, p.Payload = class, prio, flits, m
 	if s.obs != nil {
 		p.Trace = s.obs.TraceFor(p.ID)
 	}
@@ -374,7 +376,7 @@ func (s *System) SendCPURead(node int, line cache.Addr) bool {
 		return false
 	}
 	p := s.newPacket(node, s.memNodeFor(line), noc.ClassRequest, noc.PrioCPU, 1,
-		&Msg{Type: MsgCPURead, Line: line, Requester: node})
+		s.msgOf(Msg{Type: MsgCPURead, Line: line, Requester: node}))
 	return ni.Inject(p)
 }
 
@@ -385,6 +387,7 @@ func (s *System) cpuHandle(node int, p *noc.Packet) bool {
 		panic("core: unexpected message at CPU node: " + m.Type.String())
 	}
 	s.CPUs[s.cpuIdx[node]].ReplyArrived(m.Line)
+	s.retire(p)
 	return true
 }
 

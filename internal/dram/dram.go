@@ -36,6 +36,8 @@ type Controller struct {
 	// lastActGlobal enforces tRRD across banks.
 	lastActGlobal int64
 	inflight      []*Request // issued, waiting for completion time
+	// doneBuf backs Tick's completion slice; valid until the next Tick.
+	doneBuf []*Request
 
 	ServedReads  int64
 	ServedWrites int64
@@ -84,10 +86,11 @@ func (c *Controller) rowOf(line cache.Addr) int64 {
 
 // Tick advances one cycle and returns requests that completed this cycle.
 // FR-FCFS: among queued requests whose bank is ready, prefer row hits;
-// break ties by arrival order.
+// break ties by arrival order. The returned slice is reused by the next
+// Tick; callers must consume it before ticking again.
 func (c *Controller) Tick(now int64) []*Request {
 	// Collect completions.
-	var done []*Request
+	done := c.doneBuf[:0]
 	remaining := c.inflight[:0]
 	for _, r := range c.inflight {
 		if r.Done <= now {
@@ -99,6 +102,7 @@ func (c *Controller) Tick(now int64) []*Request {
 		}
 	}
 	c.inflight = remaining
+	c.doneBuf = done
 
 	// Issue at most one command per cycle (single command bus).
 	best := -1

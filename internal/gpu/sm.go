@@ -61,6 +61,9 @@ type SM struct {
 	mem   MemPort
 	warps []warp
 	cur   int // GTO scheduler pointer
+	// barriered counts warps in warpBarrier; when every warp is
+	// barriered the Tick fast path skips the scheduler scan entirely.
+	barriered int
 
 	// Statistics.
 	Insts       int64
@@ -88,6 +91,13 @@ func (s *SM) issuable(w *warp) bool {
 // Tick issues up to IssueWidth instructions using GTO scheduling:
 // stick with the current warp while it can issue, else advance.
 func (s *SM) Tick() {
+	if s.barriered == len(s.warps) {
+		// Every warp waits on outstanding loads: the scheduler scan
+		// would try each warp once, issue nothing, and leave cur where
+		// it started (n advances mod n). Equivalent to a stall.
+		s.StallCycles++
+		return
+	}
 	issued := 0
 	n := len(s.warps)
 	tried := 0
@@ -148,6 +158,7 @@ func (s *SM) issueOne(idx int, w *warp) bool {
 		if w.loadsLeft <= 0 {
 			if w.outstanding > 0 {
 				w.state = warpBarrier
+				s.barriered++
 			} else {
 				s.newPhase(w)
 			}
@@ -172,6 +183,7 @@ func (s *SM) LoadDone(warpIdx int) {
 	}
 	w.outstanding--
 	if w.outstanding == 0 && w.state == warpBarrier {
+		s.barriered--
 		s.newPhase(w)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"delrep/internal/config"
+	"delrep/internal/fifo"
 	"delrep/internal/stats"
 )
 
@@ -28,6 +29,14 @@ type event struct {
 // plus one network interface per node. The baseline uses two Network
 // instances (request and reply); AVCP and the virtual-network study use
 // a single shared instance with per-class VC ranges.
+//
+// Tick is activity-gated: routers with no buffered flits and NIs with
+// no injection/ejection work are skipped. The gating is exact — every
+// piece of per-cycle state a skipped component would have touched is
+// either provably unchanged when idle or derived from the cycle count
+// (router saPortPtr, NI class round-robin) — so results are
+// bit-identical to ungated execution. Under HARE routing every router
+// still ticks (the EWMA congestion estimate decays per cycle).
 type Network struct {
 	Label    string
 	topo     Topology
@@ -42,6 +51,18 @@ type Network struct {
 
 	ring [][]event
 	now  int64
+
+	// Activity counters maintained by the hot path: buffered flits
+	// across all router input rings, and in-flight flit events in the
+	// delay ring. Quiet derives from these in O(#NIs) instead of
+	// rescanning every buffer.
+	bufFlits int
+	flyFlits int
+
+	// DebugChecks enables the slow cross-checks: Quiet and
+	// CheckCreditInvariant re-derive the activity counters by full
+	// scan and panic/error on divergence. Tests switch this on.
+	DebugChecks bool
 
 	// TraceSink, when non-nil, receives every ejected packet that
 	// carries a Trace record (set by the observability layer). It must
@@ -118,8 +139,17 @@ func NewNetwork(label string, topo Topology, cfg config.NoC, nodes int, p Params
 		ni := &NI{
 			net: n, Node: node, router: r, port: port,
 			injCap: injCap,
-			ejBuf:  make([][]Flit, numVCs),
+			ejBuf:  make([]fifo.Ring[Flit], numVCs),
 			asmCap: p.AsmCap,
+		}
+		// Preallocate every queue to its capacity: the steady-state
+		// tick path never grows them.
+		ni.injQ[0] = make([]*Packet, 0, injCap[0])
+		ni.injQ[1] = make([]*Packet, 0, injCap[1])
+		ni.streams = make([]injStream, 0, numVCs)
+		ni.asm = make([]*Packet, 0, p.AsmCap)
+		for v := range ni.ejBuf {
+			ni.ejBuf[v].Init(p.EjCap)
 		}
 		n.NIs[node] = ni
 		out := &n.Routers[r].out[port]
@@ -154,33 +184,51 @@ func (n *Network) schedule(delay int, ev event) {
 	if delay < 1 {
 		delay = 1
 	}
+	if ev.kind == evFlit {
+		n.flyFlits++
+	}
 	slot := (n.now + int64(delay)) % int64(len(n.ring))
 	n.ring[slot] = append(n.ring[slot], ev)
 }
 
-// Tick advances the network one cycle.
+// Tick advances the network one cycle. Only active components run:
+// see the Network doc comment for the exactness argument.
 func (n *Network) Tick() {
 	n.now++
 	n.measured++
 	slot := n.now % int64(len(n.ring))
-	for _, ev := range n.ring[slot] {
+	evs := n.ring[slot]
+	for _, ev := range evs {
 		r := n.Routers[ev.router]
 		switch ev.kind {
 		case evFlit:
+			n.flyFlits--
 			r.acceptFlit(ev.port, ev.vc, ev.flit)
 		case evCredit:
 			r.out[ev.port].credits[ev.vc]++
 		}
 	}
-	n.ring[slot] = n.ring[slot][:0]
+	n.ring[slot] = evs[:0]
 	for _, ni := range n.NIs {
-		ni.tickInject()
+		if ni.injActive() {
+			ni.tickInject()
+		}
 	}
-	for _, r := range n.Routers {
-		r.tick()
+	if n.hare {
+		for _, r := range n.Routers {
+			r.tick()
+		}
+	} else if n.bufFlits > 0 {
+		for _, r := range n.Routers {
+			if r.buffered > 0 {
+				r.tick()
+			}
+		}
 	}
 	for _, ni := range n.NIs {
-		ni.tickEject()
+		if ni.ejActive() {
+			ni.tickEject()
+		}
 	}
 }
 
@@ -239,10 +287,32 @@ func (n *Network) PortSent(r, port int) int64 {
 }
 
 // Quiet reports whether the network holds no buffered or in-flight
-// flits (used by drain tests).
+// flits (used by drain tests). It reads the maintained activity
+// counters; with DebugChecks set it also performs the historical full
+// scan and panics if the two disagree.
 func (n *Network) Quiet() bool {
+	quiet := n.bufFlits == 0 && n.flyFlits == 0
+	if quiet {
+		for _, ni := range n.NIs {
+			if ni.injActive() || ni.ejActive() {
+				quiet = false
+				break
+			}
+		}
+	}
+	if n.DebugChecks {
+		if scan := n.quietScan(); scan != quiet {
+			panic(fmt.Sprintf("noc: Quiet counter/scan divergence: counters=%v scan=%v (bufFlits=%d flyFlits=%d)",
+				quiet, scan, n.bufFlits, n.flyFlits))
+		}
+	}
+	return quiet
+}
+
+// quietScan is the full-rescan form of Quiet (debug cross-check).
+func (n *Network) quietScan() bool {
 	for _, r := range n.Routers {
-		if r.BufferedFlits() > 0 {
+		if r.bufferedScan() > 0 {
 			return false
 		}
 	}
@@ -257,8 +327,8 @@ func (n *Network) Quiet() bool {
 		if len(ni.injQ[0]) > 0 || len(ni.injQ[1]) > 0 || len(ni.streams) > 0 || len(ni.asm) > 0 {
 			return false
 		}
-		for _, b := range ni.ejBuf {
-			if len(b) > 0 {
+		for v := range ni.ejBuf {
+			if ni.ejBuf[v].Len() > 0 {
 				return false
 			}
 		}
@@ -268,19 +338,36 @@ func (n *Network) Quiet() bool {
 
 // CheckCreditInvariant verifies that, for every wired output VC,
 // credits + downstream buffer occupancy + in-flight flits equals the
-// buffer depth. It returns an error describing the first violation.
+// buffer depth, and that the maintained activity counters match a
+// full recount. It returns an error describing the first violation.
 func (n *Network) CheckCreditInvariant() error {
 	inFlight := make(map[[3]int]int) // (router, port, vc) -> flits on the wire
 	credits := make(map[[3]int]int)  // (router, port, vc) -> credits on the wire
+	fly := 0
 	for _, slot := range n.ring {
 		for _, ev := range slot {
 			k := [3]int{ev.router, ev.port, ev.vc}
 			if ev.kind == evFlit {
 				inFlight[k]++
+				fly++
 			} else {
 				credits[k]++
 			}
 		}
+	}
+	if fly != n.flyFlits {
+		return fmt.Errorf("in-flight flit counter drifted: counter=%d scan=%d", n.flyFlits, fly)
+	}
+	buffered := 0
+	for _, r := range n.Routers {
+		scan := r.bufferedScan()
+		if scan != r.buffered {
+			return fmt.Errorf("router %d buffered-flit counter drifted: counter=%d scan=%d", r.ID, r.buffered, scan)
+		}
+		buffered += scan
+	}
+	if buffered != n.bufFlits {
+		return fmt.Errorf("network buffered-flit counter drifted: counter=%d scan=%d", n.bufFlits, buffered)
 	}
 	for _, r := range n.Routers {
 		for p := range r.out {
@@ -290,7 +377,7 @@ func (n *Network) CheckCreditInvariant() error {
 			}
 			for v := range op.credits {
 				down := n.Routers[op.link.to]
-				occ := len(down.in[op.link.toPort][v].q)
+				occ := down.in[op.link.toPort][v].q.Len()
 				fly := inFlight[[3]int{op.link.to, op.link.toPort, v}]
 				cred := credits[[3]int{r.ID, p, v}]
 				total := op.credits[v] + occ + fly + cred
@@ -329,7 +416,7 @@ func (n *Network) DebugLocalIn(r int) string {
 	s := "L:"
 	for v := range rt.in[0] {
 		b := &rt.in[0][v]
-		s += fmt.Sprintf("vc%d(q%d,out%d)", v, len(b.q), b.outPort)
+		s += fmt.Sprintf("vc%d(q%d,out%d)", v, b.q.Len(), b.outPort)
 	}
 	return s
 }
@@ -340,7 +427,7 @@ func (n *Network) DebugInPort(r, port int) string {
 	s := ""
 	for v := range rt.in[port] {
 		b := &rt.in[port][v]
-		s += fmt.Sprintf("vc%d(q%d,out%d)", v, len(b.q), b.outPort)
+		s += fmt.Sprintf("vc%d(q%d,out%d)", v, b.q.Len(), b.outPort)
 	}
 	return s
 }

@@ -1,5 +1,7 @@
 package noc
 
+import "delrep/internal/fifo"
+
 // NI is a network interface: it serializes queued packets into the
 // local router input port flit-by-flit (injection) and reassembles
 // arriving flits into packets for the node (ejection).
@@ -13,6 +15,12 @@ package noc
 // streamed no longer appear in the queue (their flits are committed to
 // the network), so the Delegated Replies engine only ever delegates
 // replies that have not begun injection.
+//
+// All queues keep their backing storage for the lifetime of the NI:
+// the injection queues, stream slots and assembly queue are
+// preallocated to their capacities and shrink/grow in place, and the
+// per-VC ejection buffers are fixed-capacity rings (ejection credits
+// bound their occupancy).
 type NI struct {
 	net    *Network
 	Node   int
@@ -23,13 +31,13 @@ type NI struct {
 	injCap   [2]int
 	streams  []injStream
 	inflight [2]int // streaming packets per class (count toward capacity)
-	rrCls    int
 	rrStream int
 	blocked  [2]bool
 
-	ejBuf  [][]Flit
-	asm    []*Packet
-	asmCap int
+	ejBuf   []fifo.Ring[Flit]
+	ejFlits int // flits across all ejection rings (activity gate)
+	asm     []*Packet
+	asmCap  int
 
 	// Handler consumes an ejected packet; returning false leaves the
 	// packet queued and back-pressures the network (node blocking).
@@ -93,9 +101,22 @@ func (ni *NI) HeadInProgress(Class) bool { return false }
 // returns it. Only queued (never streaming) packets are reachable.
 func (ni *NI) RemoveQueued(c Class, i int) *Packet {
 	p := ni.injQ[c][i]
-	ni.injQ[c] = append(ni.injQ[c][:i], ni.injQ[c][i+1:]...)
+	ni.injQ[c] = fifo.RemoveAt(ni.injQ[c], i)
 	return p
 }
+
+// injActive reports whether injection-side work exists. Idle NIs skip
+// tickInject entirely: the only state that tick would touch — the
+// blocked flags and the class round-robin — is provably unaffected
+// (blocked is always false once the streams drain, and the class
+// round-robin is derived from the cycle count, see startStreams).
+func (ni *NI) injActive() bool {
+	return len(ni.injQ[0]) > 0 || len(ni.injQ[1]) > 0 || len(ni.streams) > 0
+}
+
+// ejActive reports whether ejection-side work exists (buffered flits
+// or assembled packets awaiting delivery).
+func (ni *NI) ejActive() bool { return ni.ejFlits > 0 || len(ni.asm) > 0 }
 
 // headReady returns the class's head packet if it is ready to send.
 func (ni *NI) headReady(c int) *Packet {
@@ -120,11 +141,14 @@ func (ni *NI) vcFree(vc int) bool {
 }
 
 // startStreams binds ready head packets to free VCs until the stream
-// slots (one per VC) are exhausted.
+// slots (one per VC) are exhausted. The class round-robin alternates
+// every cycle since construction, so it is derived from the cycle
+// count rather than stored — skipped idle cycles cannot drift it.
 func (ni *NI) startStreams() {
 	rtr := ni.net.Routers[ni.router]
+	cls := int((ni.net.now - 1) % 2)
 	for tries := 0; tries < 2; tries++ {
-		c := (ni.rrCls + tries) % 2
+		c := (cls + tries) % 2
 		for {
 			pkt := ni.headReady(c)
 			if pkt == nil {
@@ -133,7 +157,7 @@ func (ni *NI) startStreams() {
 			lo, hi := ni.net.VCRange(pkt.Class)
 			vc := -1
 			for v := lo; v <= hi; v++ {
-				if ni.vcFree(v) && len(rtr.in[ni.port][v].q) < ni.net.bufDepth {
+				if ni.vcFree(v) && rtr.in[ni.port][v].q.Len() < ni.net.bufDepth {
 					vc = v
 					break
 				}
@@ -141,12 +165,11 @@ func (ni *NI) startStreams() {
 			if vc < 0 {
 				break
 			}
-			ni.injQ[c] = ni.injQ[c][1:]
+			ni.injQ[c], _ = fifo.PopFront(ni.injQ[c])
 			ni.inflight[c]++
 			ni.streams = append(ni.streams, injStream{pkt: pkt, vc: vc})
 		}
 	}
-	ni.rrCls = (ni.rrCls + 1) % 2
 }
 
 // tickInject pushes at most one flit (the link width) from the active
@@ -163,23 +186,22 @@ func (ni *NI) tickInject() {
 	for i := 0; i < n; i++ {
 		idx := (ni.rrStream + i) % n
 		st := &ni.streams[idx]
-		b := &rtr.in[ni.port][st.vc]
-		if len(b.q) >= ni.net.bufDepth {
+		if rtr.in[ni.port][st.vc].q.Len() >= ni.net.bufDepth {
 			continue
 		}
 		f := Flit{Pkt: st.pkt, Seq: st.seq}
-		b.q = append(b.q, f)
 		if f.Head() {
 			st.pkt.Injected = ni.net.now
 			if st.pkt.Trace != nil {
 				st.pkt.Trace.arrive(ni.router, ni.net.now)
 			}
 		}
+		rtr.pushFlit(ni.port, st.vc, f)
 		ni.net.InjFlits[st.pkt.Class]++
 		st.seq++
 		if st.seq >= st.pkt.SizeFlits {
 			ni.inflight[st.pkt.Class]--
-			ni.streams = append(ni.streams[:idx], ni.streams[idx+1:]...)
+			ni.streams = fifo.RemoveAt(ni.streams, idx)
 		}
 		ni.rrStream = idx + 1
 		pushed = true
@@ -197,7 +219,8 @@ func (ni *NI) tickInject() {
 
 // accept receives a flit from the router's ejection port.
 func (ni *NI) accept(f Flit, vc int) {
-	ni.ejBuf[vc] = append(ni.ejBuf[vc], f)
+	ni.ejBuf[vc].PushBack(f)
+	ni.ejFlits++
 	ni.net.EjFlits[f.Pkt.Class]++
 	ni.EjFlitsByClass[f.Pkt.Class]++
 }
@@ -213,15 +236,18 @@ func (ni *NI) tickEject() {
 	rtr := ni.net.Routers[ni.router]
 	for v := range ni.ejBuf {
 		for len(ni.asm) < ni.asmCap {
-			buf := ni.ejBuf[v]
-			if len(buf) == 0 {
+			buf := &ni.ejBuf[v]
+			if buf.Len() == 0 {
 				break
 			}
-			pkt := buf[0].Pkt
-			if len(buf) < pkt.SizeFlits || buf[pkt.SizeFlits-1].Pkt != pkt {
+			pkt := buf.Front().Pkt
+			if buf.Len() < pkt.SizeFlits || buf.At(pkt.SizeFlits-1).Pkt != pkt {
 				break // packet not yet complete on this VC
 			}
-			ni.ejBuf[v] = buf[pkt.SizeFlits:]
+			for i := 0; i < pkt.SizeFlits; i++ {
+				buf.PopFront()
+			}
+			ni.ejFlits -= pkt.SizeFlits
 			rtr.out[ni.port].credits[v] += pkt.SizeFlits
 			pkt.Ejected = ni.net.now
 			ni.net.PktLat[pkt.Prio].Add(float64(pkt.Ejected - pkt.Enqueued))
@@ -239,6 +265,6 @@ func (ni *NI) deliver() {
 		if ni.Handler == nil || !ni.Handler(ni.asm[0]) {
 			return
 		}
-		ni.asm = ni.asm[1:]
+		ni.asm, _ = fifo.PopFront(ni.asm)
 	}
 }

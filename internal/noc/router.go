@@ -1,12 +1,33 @@
 package noc
 
-// vcBuf is the input buffer state of one virtual channel: a flit FIFO
-// plus the routing/allocation state of the packet currently at its front.
+import "delrep/internal/fifo"
+
+// vcBuf is the input buffer state of one virtual channel: a fixed-
+// capacity flit ring (sized to bufDepth — credits bound occupancy)
+// plus the routing/allocation state of the packet currently at its
+// front. Routing candidates are folded into a per-(port,vc) claimed
+// bitmap so VC allocation tests membership with one bit probe instead
+// of a linear candidate scan.
 type vcBuf struct {
-	q       []Flit
-	cands   []Candidate
+	q       fifo.Ring[Flit]
+	mask    []uint64 // bit (port*numVCs + vc) set: candidate output VC
+	routed  bool     // route computed for the current head packet
 	outPort int
 	outVC   int
+}
+
+// allows reports whether output (port, vc) — encoded as a flat bit
+// index — is a routing candidate for the buffered head packet.
+func (b *vcBuf) allows(bit int) bool {
+	return b.mask[bit>>6]&(1<<(uint(bit)&63)) != 0
+}
+
+// clearRoute drops the head packet's routing state (tail departed).
+func (b *vcBuf) clearRoute() {
+	for i := range b.mask {
+		b.mask[i] = 0
+	}
+	b.routed = false
 }
 
 // outPort is the output side of a router port: per-VC downstream
@@ -41,17 +62,42 @@ func ownerKey(port, vc int) int32 { return int32(port<<8 | vc) }
 // wormhole flow control, per-class VC ranges, and separable switch
 // allocation with CPU-priority arbitration (a one-iteration
 // iSLIP-style allocator with rotating pointers).
+//
+// The switch-allocation input-port pointer is not stored: it advances
+// exactly once per network cycle since construction, so it is
+// recomputed from the cycle count. That keeps it bit-identical even
+// when idle routers skip their tick entirely (see Network.Tick).
 type Router struct {
 	net    *Network
 	ID     int
 	nports int
+	// inFlat is the contiguous backing store for all input VC buffers,
+	// indexed port*numVCs+vc; in[p] is a subslice view of it. The
+	// allocator inner loops index inFlat directly so a probe is one
+	// bounds-checked load instead of a slice-of-slice chase.
+	inFlat []vcBuf
 	in     [][]vcBuf
 	inFrom []feeder
 	out    []outPort
 
-	saInPtr   []int // per input port: rotating VC pointer
-	saPortPtr int   // rotating input-port pointer (switch allocation)
-	vaOutPtr  []int // per output port: rotating grant pointer (VC allocation)
+	saInPtr  []int // per input port: rotating VC pointer
+	vaOutPtr []int // per output port: rotating grant pointer (VC allocation)
+
+	// Scratch buffers reused every tick (allocated once here, never
+	// on the tick path).
+	inputUsed  []bool
+	outputUsed []bool
+	candBuf    []Candidate
+	// headPrio caches, per input VC (indexed port*numVCs+vc), the
+	// priority of an arbitration-eligible head flit, or -1. Both
+	// allocators classify heads in a single scan and then arbitrate
+	// over this byte array, instead of re-dereferencing ring fronts and
+	// packet priorities in their rotating inner loops.
+	headPrio []int8
+
+	// buffered counts flits across all input VC rings; it drives the
+	// active-set scheduler and the O(1) BufferedFlits/Quiet paths.
+	buffered int
 
 	// Adaptive routing state (see routing.go).
 	foot map[int]int
@@ -60,20 +106,29 @@ type Router struct {
 
 func newRouter(net *Network, id, nports, numVCs, bufDepth int) *Router {
 	r := &Router{
-		net:      net,
-		ID:       id,
-		nports:   nports,
-		in:       make([][]vcBuf, nports),
-		inFrom:   make([]feeder, nports),
-		out:      make([]outPort, nports),
-		saInPtr:  make([]int, nports),
-		vaOutPtr: make([]int, nports),
-		ewma:     make([]float64, nports),
+		net:        net,
+		ID:         id,
+		nports:     nports,
+		in:         make([][]vcBuf, nports),
+		inFrom:     make([]feeder, nports),
+		out:        make([]outPort, nports),
+		saInPtr:    make([]int, nports),
+		vaOutPtr:   make([]int, nports),
+		inputUsed:  make([]bool, nports),
+		outputUsed: make([]bool, nports),
+		candBuf:    make([]Candidate, 0, 4),
+		headPrio:   make([]int8, nports*numVCs),
+		ewma:       make([]float64, nports),
 	}
+	maskWords := (nports*numVCs + 63) / 64
+	r.inFlat = make([]vcBuf, nports*numVCs)
 	for p := 0; p < nports; p++ {
-		r.in[p] = make([]vcBuf, numVCs)
+		r.in[p] = r.inFlat[p*numVCs : (p+1)*numVCs : (p+1)*numVCs]
 		for v := 0; v < numVCs; v++ {
-			r.in[p][v] = vcBuf{q: make([]Flit, 0, bufDepth), outPort: -1, outVC: -1}
+			b := &r.in[p][v]
+			b.q.Init(bufDepth)
+			b.mask = make([]uint64, maskWords)
+			b.outPort, b.outVC = -1, -1
 		}
 		r.out[p] = outPort{
 			credits: make([]int, numVCs),
@@ -86,17 +141,26 @@ func newRouter(net *Network, id, nports, numVCs, bufDepth int) *Router {
 	return r
 }
 
+// pushFlit appends a flit to input VC (port, vc), maintaining the
+// router and network activity counters. All buffer insertions (link
+// deliveries and local NI injection) go through here so the counters
+// that gate idle routers cannot drift from the rings.
+func (r *Router) pushFlit(port, vc int, f Flit) {
+	r.in[port][vc].q.PushBack(f)
+	r.buffered++
+	r.net.bufFlits++
+}
+
 // acceptFlit places an arriving flit into an input VC buffer. Credits
 // guarantee space; a violation indicates a flow-control bug.
 func (r *Router) acceptFlit(port, vc int, f Flit) {
-	b := &r.in[port][vc]
-	if len(b.q) >= r.net.bufDepth {
+	if r.in[port][vc].q.Len() >= r.net.bufDepth {
 		panic("noc: input buffer overflow (credit accounting bug)")
 	}
 	if f.Pkt.Trace != nil && f.Head() {
 		f.Pkt.Trace.arrive(r.ID, r.net.now)
 	}
-	b.q = append(b.q, f)
+	r.pushFlit(port, vc, f)
 }
 
 // tick runs one router cycle: route computation and VC allocation for
@@ -105,6 +169,9 @@ func (r *Router) acceptFlit(port, vc int, f Flit) {
 func (r *Router) tick() {
 	if r.net.hare {
 		r.updateEWMA()
+	}
+	if r.buffered == 0 {
+		return
 	}
 	r.allocateVCs()
 	r.switchAllocAndTraverse()
@@ -118,31 +185,39 @@ func (r *Router) tick() {
 // let persistent flows resonance-lock the allocator and starve traffic
 // turning in from other dimensions at merge routers.
 func (r *Router) allocateVCs() {
-	for p := 0; p < r.nports; p++ {
-		for v := range r.in[p] {
-			b := &r.in[p][v]
-			if len(b.q) == 0 || b.outPort >= 0 || b.cands != nil {
-				continue
-			}
-			head := b.q[0]
+	numVCs := r.net.numVCs
+	// Single classification pass: route any new head, then record the
+	// priority of every VC still waiting for an output. Routing one VC
+	// touches only that VC's own mask/routed state, so classifying as
+	// we go sees the same values as a separate counting pass would.
+	var waiting [3]int
+	headPrio := r.headPrio
+	for idx := range r.inFlat {
+		b := &r.inFlat[idx]
+		if b.q.Len() == 0 || b.outPort >= 0 {
+			headPrio[idx] = -1
+			continue
+		}
+		head := b.q.Front()
+		if !b.routed {
 			if !head.Head() {
 				panic("noc: body flit at VC front without allocated route")
 			}
-			b.cands = r.net.topo.Route(r.net, r.ID, head.Pkt)
-		}
-	}
-	// Count waiting heads per priority; skip empty passes (most routers
-	// are idle most cycles).
-	var waiting [3]int
-	for p := 0; p < r.nports; p++ {
-		for v := range r.in[p] {
-			b := &r.in[p][v]
-			if len(b.q) > 0 && b.outPort < 0 && b.cands != nil {
-				waiting[b.q[0].Pkt.Prio]++
+			cands := r.net.topo.Route(r.net, r.ID, head.Pkt, r.candBuf[:0])
+			for _, c := range cands {
+				for vc := c.VCLo; vc <= c.VCHi; vc++ {
+					bit := c.Port*numVCs + vc
+					b.mask[bit>>6] |= 1 << (uint(bit) & 63)
+				}
 			}
+			b.routed = true
+			r.candBuf = cands[:0] // keep a grown buffer for reuse
 		}
+		prio := head.Pkt.Prio
+		headPrio[idx] = int8(prio)
+		waiting[prio]++
 	}
-	total := r.nports * r.net.numVCs
+	total := r.nports * numVCs
 	for prio := int(PrioCPU); prio >= int(PrioGPU); prio-- {
 		if waiting[prio] == 0 {
 			continue
@@ -157,26 +232,31 @@ func (r *Router) allocateVCs() {
 				if out.owner[ovc] != ownerFree || out.credits[ovc] <= 0 {
 					continue
 				}
+				bit := op*numVCs + ovc
 				for k := 0; k < total; k++ {
-					idx := (r.vaOutPtr[op] + k) % total
-					p, v := idx/r.net.numVCs, idx%r.net.numVCs
-					b := &r.in[p][v]
-					if len(b.q) == 0 || b.outPort >= 0 || b.cands == nil {
+					idx := r.vaOutPtr[op] + k
+					if idx >= total {
+						idx -= total
+					}
+					if int(headPrio[idx]) != prio {
 						continue
 					}
-					if int(b.q[0].Pkt.Prio) != prio {
+					b := &r.inFlat[idx]
+					if !b.allows(bit) {
 						continue
 					}
-					if !covers(b.cands, op, ovc) {
-						continue
-					}
+					p, v := idx/numVCs, idx%numVCs
 					out.owner[ovc] = ownerKey(p, v)
 					b.outPort = op
 					b.outVC = ovc
-					if pkt := b.q[0].Pkt; pkt.Trace != nil {
+					headPrio[idx] = -1 // granted: no longer waiting
+					if pkt := b.q.Front().Pkt; pkt.Trace != nil {
 						pkt.Trace.vcAlloc(r.ID, r.net.now)
 					}
-					r.vaOutPtr[op] = (idx + 1) % total
+					r.vaOutPtr[op] = idx + 1
+					if r.vaOutPtr[op] == total {
+						r.vaOutPtr[op] = 0
+					}
 					granted++
 					break
 				}
@@ -191,38 +271,60 @@ func (r *Router) allocateVCs() {
 	}
 }
 
-// covers reports whether any routing candidate permits (port, vc).
-func covers(cands []Candidate, port, vc int) bool {
-	for _, c := range cands {
-		if c.Port == port && vc >= c.VCLo && vc <= c.VCHi {
-			return true
-		}
-	}
-	return false
-}
-
 // switchAllocAndTraverse picks at most one flit per input port and per
 // output port (separable allocation, priority classes first, rotating
 // pointers for fairness within a class) and forwards the winners.
 func (r *Router) switchAllocAndTraverse() {
-	inputUsed := make([]bool, r.nports)
-	outputUsed := make([]bool, r.nports)
+	inputUsed, outputUsed := r.inputUsed, r.outputUsed
+	for i := range inputUsed {
+		inputUsed[i] = false
+		outputUsed[i] = false
+	}
+	// Classify sendable heads once. A grant only mutates the granted
+	// VC (popped and possibly released), and inputUsed masks that VC's
+	// whole port for the rest of the allocation, so the snapshot stays
+	// valid across the priority passes; output contention and credits
+	// are still checked live in the loop.
+	numVCs := r.net.numVCs
+	headPrio := r.headPrio
+	var present [3]int
+	for idx := range r.inFlat {
+		b := &r.inFlat[idx]
+		if b.q.Len() == 0 || b.outPort < 0 {
+			headPrio[idx] = -1
+			continue
+		}
+		prio := b.q.Front().Pkt.Prio
+		headPrio[idx] = int8(prio)
+		present[prio]++
+	}
+	// The historical saPortPtr advanced by one every cycle regardless
+	// of traffic; derive it from the cycle count so skipped idle ticks
+	// cannot desynchronise it.
+	base := int((r.net.now - 1) % int64(r.nports))
 	for prio := int(PrioCPU); prio >= int(PrioGPU); prio-- {
+		if present[prio] == 0 {
+			continue
+		}
 		for i := 0; i < r.nports; i++ {
-			p := (r.saPortPtr + i) % r.nports
+			p := base + i
+			if p >= r.nports {
+				p -= r.nports
+			}
 			if inputUsed[p] {
 				continue
 			}
-			nvc := len(r.in[p])
+			nvc := numVCs
+			pv := p * numVCs
 			for j := 0; j < nvc; j++ {
-				v := (r.saInPtr[p] + j) % nvc
-				b := &r.in[p][v]
-				if len(b.q) == 0 || b.outPort < 0 {
+				v := r.saInPtr[p] + j
+				if v >= nvc {
+					v -= nvc
+				}
+				if int(headPrio[pv+v]) != prio {
 					continue
 				}
-				if int(b.q[0].Pkt.Prio) != prio {
-					continue
-				}
+				b := &r.inFlat[pv+v]
 				if outputUsed[b.outPort] {
 					continue
 				}
@@ -233,20 +335,23 @@ func (r *Router) switchAllocAndTraverse() {
 				r.traverse(p, v, b)
 				inputUsed[p] = true
 				outputUsed[outPort] = true
-				r.saInPtr[p] = (v + 1) % nvc
+				r.saInPtr[p] = v + 1
+				if r.saInPtr[p] == nvc {
+					r.saInPtr[p] = 0
+				}
 				break
 			}
 		}
 	}
-	r.saPortPtr = (r.saPortPtr + 1) % r.nports
 }
 
 // traverse moves the front flit of input VC (p, v) through the crossbar
 // onto its allocated output, returning a credit upstream and releasing
 // the wormhole channel on tails. The caller has verified eligibility.
 func (r *Router) traverse(p, v int, b *vcBuf) {
-	f := b.q[0]
-	b.q = b.q[1:]
+	f := b.q.PopFront()
+	r.buffered--
+	r.net.bufFlits--
 	op := &r.out[b.outPort]
 	op.sent++
 	r.net.flitHops++
@@ -280,17 +385,22 @@ func (r *Router) traverse(p, v int, b *vcBuf) {
 	if f.Tail() {
 		op.owner[b.outVC] = ownerFree
 		b.outPort, b.outVC = -1, -1
-		b.cands = nil
+		b.clearRoute()
 	}
 }
 
 // BufferedFlits returns the number of flits currently buffered at the
-// router (for invariant checks and drain detection).
-func (r *Router) BufferedFlits() int {
+// router (for invariant checks and drain detection). It reads the
+// maintained counter; bufferedScan recomputes it from the rings.
+func (r *Router) BufferedFlits() int { return r.buffered }
+
+// bufferedScan recounts buffered flits from the VC rings — the
+// debug-mode cross-check for the maintained counter.
+func (r *Router) bufferedScan() int {
 	n := 0
 	for p := range r.in {
 		for v := range r.in[p] {
-			n += len(r.in[p][v].q)
+			n += r.in[p][v].q.Len()
 		}
 	}
 	return n

@@ -21,8 +21,19 @@ func twoNodeNet() *Network {
 	return net
 }
 
-func TestCovers(t *testing.T) {
+func TestClaimedBitmapCoversCandidates(t *testing.T) {
+	// The claimed bitmap must answer exactly the question the old
+	// linear candidate scan answered: does any candidate permit
+	// output (port, vc)?
+	const numVCs = 2
 	cands := []Candidate{{Port: 1, VCLo: 1, VCHi: 1}, {Port: 3, VCLo: 0, VCHi: 0}}
+	b := vcBuf{mask: make([]uint64, (5*numVCs+63)/64)}
+	for _, c := range cands {
+		for vc := c.VCLo; vc <= c.VCHi; vc++ {
+			bit := c.Port*numVCs + vc
+			b.mask[bit>>6] |= 1 << (uint(bit) & 63)
+		}
+	}
 	cases := []struct {
 		port, vc int
 		want     bool
@@ -30,8 +41,14 @@ func TestCovers(t *testing.T) {
 		{1, 1, true}, {1, 0, false}, {3, 0, true}, {3, 1, false}, {2, 0, false},
 	}
 	for _, c := range cases {
-		if got := covers(cands, c.port, c.vc); got != c.want {
-			t.Errorf("covers(%d,%d) = %v", c.port, c.vc, got)
+		if got := b.allows(c.port*numVCs + c.vc); got != c.want {
+			t.Errorf("allows(%d,%d) = %v", c.port, c.vc, got)
+		}
+	}
+	b.clearRoute()
+	for _, c := range cases {
+		if b.allows(c.port*numVCs + c.vc) {
+			t.Errorf("allows(%d,%d) after clearRoute", c.port, c.vc)
 		}
 	}
 }

@@ -15,32 +15,35 @@ import "delrep/internal/config"
 //     differential exceeds a threshold, bounding path spread.
 //   - HARE [37] ranks by a history-weighted (EWMA) credit estimate,
 //     reacting to sustained endpoint congestion rather than transients.
-func adaptiveMeshRoute(net *Network, m *Mesh, r int, p *Packet, x, y, dx, dy, dor, lo, hi int) []Candidate {
+func adaptiveMeshRoute(net *Network, m *Mesh, r int, p *Packet, x, y, dx, dy, dor, lo, hi int, buf []Candidate) []Candidate {
 	rtr := net.Routers[r]
-	var prods []int
+	var prods [2]int
+	np := 0
 	if dx > x {
-		prods = append(prods, PortE)
+		prods[np] = PortE
+		np++
 	} else if dx < x {
-		prods = append(prods, PortW)
+		prods[np] = PortW
+		np++
 	}
 	if dy > y {
-		prods = append(prods, PortS)
+		prods[np] = PortS
+		np++
 	} else if dy < y {
-		prods = append(prods, PortN)
+		prods[np] = PortN
+		np++
 	}
-	if len(prods) == 2 {
+	if np == 2 {
 		first := rankPorts(net, rtr, p, prods[0], prods[1])
 		if !first {
 			prods[0], prods[1] = prods[1], prods[0]
 		}
 	}
-	cands := make([]Candidate, 0, 3)
-	for _, port := range prods {
-		cands = append(cands, Candidate{Port: port, VCLo: lo + 1, VCHi: hi})
+	for _, port := range prods[:np] {
+		buf = append(buf, Candidate{Port: port, VCLo: lo + 1, VCHi: hi})
 	}
 	// Escape channel: DOR on the lowest VC keeps the network deadlock-free.
-	cands = append(cands, Candidate{Port: dor, VCLo: lo, VCHi: lo})
-	return cands
+	return append(buf, Candidate{Port: dor, VCLo: lo, VCHi: lo})
 }
 
 // rankPorts reports whether port a should be preferred over port b for

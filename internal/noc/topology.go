@@ -20,9 +20,11 @@ type Topology interface {
 	Wire(r, port int) (peer, peerPort int, ok bool)
 	// NodePort returns the router and local port a node attaches to.
 	NodePort(node int) (router, port int)
-	// Route returns candidate output ports (tried in order) for packet p
-	// at router r.
-	Route(net *Network, r int, p *Packet) []Candidate
+	// Route appends candidate output ports (tried in order) for packet
+	// p at router r to buf and returns the result. Implementations
+	// must not retain buf: the router passes a per-router scratch
+	// buffer so route computation is allocation-free.
+	Route(net *Network, r int, p *Packet, buf []Candidate) []Candidate
 }
 
 // Mesh port indices.
@@ -119,19 +121,19 @@ func dorPort(x, y, dx, dy int, order config.DimOrder) int {
 }
 
 // Route implements CDR or the selected adaptive policy.
-func (m *Mesh) Route(net *Network, r int, p *Packet) []Candidate {
+func (m *Mesh) Route(net *Network, r int, p *Packet, buf []Candidate) []Candidate {
 	lo, hi := net.VCRange(p.Class)
 	x, y := m.xy(r)
 	dr, dport := m.NodePort(p.Dst)
 	dx, dy := m.xy(dr)
 	if dx == x && dy == y {
-		return []Candidate{{Port: dport, VCLo: lo, VCHi: hi}}
+		return append(buf, Candidate{Port: dport, VCLo: lo, VCHi: hi})
 	}
 	dor := dorPort(x, y, dx, dy, m.order(p.Class))
 	if m.Policy.Alg == config.RoutingCDR || hi == lo {
-		return []Candidate{{Port: dor, VCLo: lo, VCHi: hi}}
+		return append(buf, Candidate{Port: dor, VCLo: lo, VCHi: hi})
 	}
-	return adaptiveMeshRoute(net, m, r, p, x, y, dx, dy, dor, lo, hi)
+	return adaptiveMeshRoute(net, m, r, p, x, y, dx, dy, dor, lo, hi, buf)
 }
 
 // FlattenedButterfly fully connects each row and each column [41];
@@ -196,13 +198,13 @@ func (f *FlattenedButterfly) Wire(r, port int) (int, int, bool) {
 	return 0, 0, false
 }
 
-func (f *FlattenedButterfly) Route(net *Network, r int, p *Packet) []Candidate {
+func (f *FlattenedButterfly) Route(net *Network, r int, p *Packet, buf []Candidate) []Candidate {
 	lo, hi := net.VCRange(p.Class)
 	x, y := f.xy(r)
 	dr, dport := f.NodePort(p.Dst)
 	dx, dy := f.xy(dr)
 	if dx == x && dy == y {
-		return []Candidate{{Port: dport, VCLo: lo, VCHi: hi}}
+		return append(buf, Candidate{Port: dport, VCLo: lo, VCHi: hi})
 	}
 	order := f.ReqOrder
 	if p.Class == ClassReply {
@@ -222,7 +224,7 @@ func (f *FlattenedButterfly) Route(net *Network, r int, p *Packet) []Candidate {
 			port = f.rowPort(x, dx)
 		}
 	}
-	return []Candidate{{Port: port, VCLo: lo, VCHi: hi}}
+	return append(buf, Candidate{Port: port, VCLo: lo, VCHi: hi})
 }
 
 // Dragonfly groups routers into fully connected local groups with one
@@ -300,7 +302,7 @@ func (d *Dragonfly) Wire(r, port int) (int, int, bool) {
 	return 0, 0, false
 }
 
-func (d *Dragonfly) Route(net *Network, r int, p *Packet) []Candidate {
+func (d *Dragonfly) Route(net *Network, r int, p *Packet, buf []Candidate) []Candidate {
 	lo, hi := net.VCRange(p.Class)
 	dr, dport := d.NodePort(p.Dst)
 	g, i := d.split(r)
@@ -318,15 +320,15 @@ func (d *Dragonfly) Route(net *Network, r int, p *Packet) []Candidate {
 	}
 	if g == dg {
 		if r == dr {
-			return []Candidate{{Port: dport, VCLo: phaseLo, VCHi: phaseHi}}
+			return append(buf, Candidate{Port: dport, VCLo: phaseLo, VCHi: phaseHi})
 		}
-		return []Candidate{{Port: d.intraPort(i, di), VCLo: phaseLo, VCHi: phaseHi}}
+		return append(buf, Candidate{Port: d.intraPort(i, di), VCLo: phaseLo, VCHi: phaseHi})
 	}
 	need := ((dg-g-1)%d.Groups + d.Groups) % d.Groups
 	if need == i {
-		return []Candidate{{Port: d.globalPort(), VCLo: phaseLo, VCHi: phaseHi}}
+		return append(buf, Candidate{Port: d.globalPort(), VCLo: phaseLo, VCHi: phaseHi})
 	}
-	return []Candidate{{Port: d.intraPort(i, need), VCLo: phaseLo, VCHi: phaseHi}}
+	return append(buf, Candidate{Port: d.intraPort(i, need), VCLo: phaseLo, VCHi: phaseHi})
 }
 
 // Crossbar is a single-stage crossbar connecting every node directly:
@@ -345,8 +347,8 @@ func (c *Crossbar) NumPorts(int) int               { return c.N }
 func (c *Crossbar) NodePort(n int) (int, int)      { return 0, n }
 func (c *Crossbar) Wire(int, int) (int, int, bool) { return 0, 0, false }
 
-func (c *Crossbar) Route(net *Network, r int, p *Packet) []Candidate {
+func (c *Crossbar) Route(net *Network, r int, p *Packet, buf []Candidate) []Candidate {
 	lo, hi := net.VCRange(p.Class)
 	_, dport := c.NodePort(p.Dst)
-	return []Candidate{{Port: dport, VCLo: lo, VCHi: hi}}
+	return append(buf, Candidate{Port: dport, VCLo: lo, VCHi: hi})
 }

@@ -79,7 +79,7 @@ func TestMeshDORDelivers(t *testing.T) {
 					if hops > 20 {
 						t.Fatalf("order %v: %d->%d did not converge", order, src, dst)
 					}
-					cands := m.Route(net, r, p)
+					cands := m.Route(net, r, p, nil)
 					if len(cands) != 1 {
 						t.Fatalf("CDR should be deterministic, got %d candidates", len(cands))
 					}
@@ -89,7 +89,7 @@ func TestMeshDORDelivers(t *testing.T) {
 					}
 					r = q
 				}
-				cands := m.Route(net, r, p)
+				cands := m.Route(net, r, p, nil)
 				_, wantPort := m.NodePort(dst)
 				if cands[0].Port != wantPort {
 					t.Fatalf("at destination router, route = port %d, want local %d", cands[0].Port, wantPort)
@@ -114,7 +114,7 @@ func TestFbflyTwoHops(t *testing.T) {
 				if hops > 2 {
 					t.Fatalf("%d->%d took more than 2 hops", src, dst)
 				}
-				c := f.Route(net, r, p)[0]
+				c := f.Route(net, r, p, nil)[0]
 				q, _, ok := f.Wire(r, c.Port)
 				if !ok {
 					t.Fatalf("unwired route at %d", r)
@@ -141,7 +141,7 @@ func TestDragonflyMinimalPath(t *testing.T) {
 				if hops > 3 {
 					t.Fatalf("%d->%d exceeded 3 hops", src, dst)
 				}
-				c := d.Route(net, r, p)[0]
+				c := d.Route(net, r, p, nil)[0]
 				q, _, ok := d.Wire(r, c.Port)
 				if !ok {
 					t.Fatalf("unwired route at router %d port %d (%d->%d)", r, c.Port, src, dst)
@@ -180,13 +180,13 @@ func TestDragonflyVCPhases(t *testing.T) {
 	net := testNetwork(d, 64)
 	p := &Packet{Src: 0, Dst: 63, Class: ClassRequest, SizeFlits: 1}
 	// At the source group the candidate must use the low half.
-	c := d.Route(net, 0, p)
+	c := d.Route(net, 0, p, nil)
 	if c[0].VCLo != 0 || c[0].VCHi != 0 {
 		t.Fatalf("pre-global VC range [%d,%d], want [0,0]", c[0].VCLo, c[0].VCHi)
 	}
 	// Inside the destination group it must use the high half.
 	r, _ := d.NodePort(56) // same group as 63
-	c = d.Route(net, r, p)
+	c = d.Route(net, r, p, nil)
 	if c[0].VCLo != 1 || c[0].VCHi != 1 {
 		t.Fatalf("post-global VC range [%d,%d], want [1,1]", c[0].VCLo, c[0].VCHi)
 	}
@@ -197,7 +197,7 @@ func TestCrossbarDirect(t *testing.T) {
 	x := NewCrossbar(64)
 	net := testNetwork(x, 64)
 	p := &Packet{Src: 3, Dst: 41, Class: ClassRequest, SizeFlits: 1}
-	c := x.Route(net, 0, p)
+	c := x.Route(net, 0, p, nil)
 	if len(c) != 1 || c[0].Port != 41 {
 		t.Fatalf("crossbar route = %+v", c)
 	}
@@ -233,7 +233,7 @@ func TestDORPathLengthQuick(t *testing.T) {
 			if hops > want {
 				return false
 			}
-			c := m.Route(net, r, p)[0]
+			c := m.Route(net, r, p, nil)[0]
 			q, _, ok := m.Wire(r, c.Port)
 			if !ok {
 				return false

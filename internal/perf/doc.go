@@ -1,0 +1,14 @@
+// Package perf holds the hot-path microbenchmarks and the
+// allocation-regression tests for the simulator.
+//
+// The benchmarks pin the three levels the optimisation work targets:
+// a saturated mesh (router allocation/traversal cost), a quiescent
+// network (the active-set scheduler's skip path), and a full system
+// cycle. The regression test asserts the NoC tick path performs zero
+// steady-state allocations, so slice-churn regressions fail CI rather
+// than silently eating throughput.
+//
+// Run with:
+//
+//	go test ./internal/perf -bench . -benchmem
+package perf

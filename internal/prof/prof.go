@@ -1,0 +1,49 @@
+// Package prof wires runtime/pprof into the command-line tools: a CPU
+// profile collected for the lifetime of the process and a heap profile
+// snapshotted on clean exit. Both are opt-in via flags; with empty
+// file names Start is a no-op, so the simulation path never pays for
+// profiling it did not ask for.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling to cpuFile (when non-empty) and arranges
+// for a heap profile to be written to memFile (when non-empty) by the
+// returned stop function. Callers must invoke stop on clean exit;
+// profiles are intentionally not written on fatal error paths.
+func Start(cpuFile, memFile string) (stop func(), err error) {
+	var cpuOut *os.File
+	if cpuFile != "" {
+		cpuOut, err = os.Create(cpuFile)
+		if err != nil {
+			return nil, fmt.Errorf("creating CPU profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuOut); err != nil {
+			cpuOut.Close()
+			return nil, fmt.Errorf("starting CPU profile: %w", err)
+		}
+	}
+	return func() {
+		if cpuOut != nil {
+			pprof.StopCPUProfile()
+			cpuOut.Close()
+		}
+		if memFile != "" {
+			f, err := os.Create(memFile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "prof: creating heap profile: %v\n", err)
+				return
+			}
+			runtime.GC() // settle the heap so the snapshot shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "prof: writing heap profile: %v\n", err)
+			}
+			f.Close()
+		}
+	}, nil
+}

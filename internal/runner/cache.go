@@ -14,7 +14,7 @@ import (
 // Bump it whenever a simulator change alters results for an unchanged
 // configuration — stale entries then simply stop being addressable and
 // age out, rather than poisoning new runs.
-const Version = "delrep-run-v1"
+const Version = "delrep-run-v2"
 
 // DiskCache is an on-disk, content-addressed store of simulation
 // results (and small observed-run artifacts). Entries are gob files
