@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race lint bench profile record all
+.PHONY: build test race lint bench profile record serve all
 
 all: build test lint
 
@@ -27,6 +27,11 @@ profile:
 	$(GO) run ./cmd/delrepsim -gpu NN -cpu vips -scheme delegated \
 		-warm 5000 -cycles 20000 -cpuprofile cpu.prof -memprofile heap.prof
 	@echo "wrote cpu.prof and heap.prof; inspect with: go tool pprof cpu.prof"
+
+# serve starts the simulation daemon on :8080 against the per-user
+# result cache (see README "Serving simulations").
+serve:
+	$(GO) run ./cmd/delrepd -addr :8080
 
 # record refreshes the checked-in quick-windows evaluation record
 # (parallel, cached; stdout is byte-identical at any -j value).

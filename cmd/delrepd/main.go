@@ -1,0 +1,123 @@
+// Command delrepd serves the simulator over HTTP: a long-lived daemon
+// with a bounded priority job queue, per-client admission control,
+// cooperative cancellation, and the shared on-disk result cache, so
+// many clients can sweep the design space against one warm cache.
+//
+// Usage:
+//
+//	delrepd -addr :8080 -j 8 -cache auto -cache-max 2G
+//
+// Submit a job and read it back:
+//
+//	curl -s localhost:8080/v1/jobs -d '{"spec":{"gpu":"HS","cpu":"vips"}}'
+//	curl -s localhost:8080/v1/jobs/j000001
+//
+// See internal/serve for the full API. On SIGINT/SIGTERM the daemon
+// stops admitting jobs, cancels its queue, and drains running jobs for
+// up to -drain before cancelling them at their next checkpoint.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"delrep/internal/runner"
+	"delrep/internal/serve"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		jobs     = flag.Int("j", runtime.GOMAXPROCS(0), "max concurrently running simulations")
+		cacheDir = flag.String("cache", "auto", `on-disk result cache: directory path, "auto" (per-user dir), or "off"`)
+		cacheMax = flag.String("cache-max", "", "prune the cache to this size after runs (e.g. 2G; empty disables pruning)")
+		queue    = flag.Int("queue", 64, "max queued jobs before submissions get 429")
+		perCli   = flag.Int("client-inflight", 0, "max queued+running jobs per client (0 = unlimited)")
+		drain    = flag.Duration("drain", 2*time.Minute, "how long shutdown waits for running jobs before cancelling them")
+	)
+	flag.Parse()
+	logger := log.New(os.Stderr, "delrepd: ", log.LstdFlags)
+
+	var maxBytes int64
+	if *cacheMax != "" {
+		var err error
+		if maxBytes, err = runner.ParseSize(*cacheMax); err != nil {
+			logger.Fatalf("-cache-max: %v", err)
+		}
+	}
+	cache := openCache(logger, *cacheDir)
+	if cache != nil {
+		logger.Printf("result cache at %s", cache.Dir())
+	} else if maxBytes > 0 {
+		logger.Fatalf("-cache-max set but the cache is disabled")
+	}
+
+	eng := runner.New(runner.Options{Workers: *jobs, Cache: cache})
+	srv := serve.New(serve.Options{
+		Engine:         eng,
+		QueueDepth:     *queue,
+		ClientInFlight: *perCli,
+		CacheMaxBytes:  maxBytes,
+		Logf:           logger.Printf,
+	})
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
+	logger.Printf("serving on %s with %d workers, queue depth %d", *addr, srv.Workers(), *queue)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		logger.Printf("received %s: draining (up to %s)", sig, *drain)
+	case err := <-errCh:
+		logger.Fatalf("listening on %s: %v", *addr, err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		logger.Printf("drain deadline passed: running jobs cancelled (%v)", err)
+	}
+	if err := hs.Shutdown(context.Background()); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Printf("http shutdown: %v", err)
+	}
+	logger.Printf("stopped")
+}
+
+// openCache resolves the -cache flag the same way delrepsim does:
+// "off" disables it, "auto" selects the per-user default directory
+// (honouring DELREP_CACHE_DIR), anything else is a directory path.
+func openCache(logger *log.Logger, flagVal string) *runner.DiskCache {
+	switch flagVal {
+	case "off":
+		return nil
+	case "auto":
+		dir, err := runner.DefaultCacheDir()
+		if err != nil {
+			logger.Printf("no user cache dir (%v); running uncached", err)
+			return nil
+		}
+		c, err := runner.OpenDiskCache(dir)
+		if err != nil {
+			logger.Printf("opening cache %s: %v; running uncached", dir, err)
+			return nil
+		}
+		return c
+	default:
+		c, err := runner.OpenDiskCache(flagVal)
+		if err != nil {
+			logger.Fatalf("opening cache %s: %v", flagVal, err)
+		}
+		return c
+	}
+}

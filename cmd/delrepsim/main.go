@@ -6,10 +6,18 @@
 //
 //	delrepsim -gpu HS -cpu vips -scheme delegated -warm 20000 -cycles 60000
 //	delrepsim -sweep -gpu HS,BP,2DCON -cpu vips -scheme baseline,delegated -j 8
+//	delrepsim -spec run.json -json
+//	delrepsim -cache-prune 512M
 //
 // With -sweep, the -gpu, -cpu and -scheme flags accept comma-separated
 // lists and the cross product runs concurrently on -j workers through
 // the shared result cache (see internal/runner).
+//
+// With -spec, the run is described by a JSON spec (see internal/simspec;
+// "-" reads stdin) — the same wire form the delrepd daemon accepts, so
+// a spec can be replayed locally to verify a served result. -json
+// prints the canonical simspec.Result (spec, results, determinism
+// digest), byte-comparable with the daemon's "result" field.
 package main
 
 import (
@@ -24,6 +32,7 @@ import (
 	"delrep/internal/core"
 	"delrep/internal/obs"
 	"delrep/internal/prof"
+	"delrep/internal/simspec"
 	"delrep/internal/workload"
 )
 
@@ -52,9 +61,12 @@ func main() {
 		clogFlag      = flag.Bool("clog", false, "print the clog-detector narrative after the run")
 		clogUtil      = flag.Float64("clog-util", 0.85, "clog-detector port-utilization threshold")
 
-		sweep    = flag.Bool("sweep", false, "run the -gpu x -cpu x -scheme cross product in parallel")
-		jobs     = flag.Int("j", runtime.GOMAXPROCS(0), "max concurrent simulations (with -sweep)")
-		cacheDir = flag.String("cache", "auto", `on-disk result cache: directory path, "auto" (per-user dir), or "off"`)
+		specFile = flag.String("spec", "", `run one JSON simulation spec from this file ("-" reads stdin)`)
+
+		sweep      = flag.Bool("sweep", false, "run the -gpu x -cpu x -scheme cross product in parallel")
+		jobs       = flag.Int("j", runtime.GOMAXPROCS(0), "max concurrent simulations (with -sweep)")
+		cacheDir   = flag.String("cache", "auto", `on-disk result cache: directory path, "auto" (per-user dir), or "off"`)
+		cachePrune = flag.String("cache-prune", "", `prune the result cache to this size (e.g. 512M, 2GiB) and exit`)
 
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -80,40 +92,62 @@ func main() {
 		return
 	}
 
-	cfg := config.Default()
-	cfg.WarmupCycles = *warm
-	cfg.MeasureCycles = *cycles
-	cfg.Seed = *seed
-	cfg.NoC.ChannelBytes = *channel
-	if *vcdepth > 0 {
-		cfg.NoC.FlitsPerVC = *vcdepth
-	}
-
-	if cfg.Layout, err = parseLayout(*layout); err != nil {
-		fatalf("%v", err)
-	}
-	cfg.NoC.ReqOrder = cfg.Layout.ReqOrder
-	cfg.NoC.RepOrder = cfg.Layout.RepOrder
-	if cfg.NoC.Topology, err = parseTopo(*topo); err != nil {
-		fatalf("%v", err)
-	}
-	if cfg.NoC.Routing, err = parseRouting(*routing); err != nil {
-		fatalf("%v", err)
-	}
-	if cfg.GPU.Org, err = parseOrg(*org); err != nil {
-		fatalf("%v", err)
+	if *cachePrune != "" {
+		pruneCache(*cacheDir, *cachePrune)
+		return
 	}
 
 	if *sweep {
+		if *specFile != "" {
+			fatalf("-spec and -sweep are mutually exclusive")
+		}
+		cfg := config.Default()
+		cfg.WarmupCycles = *warm
+		cfg.MeasureCycles = *cycles
+		cfg.Seed = *seed
+		cfg.NoC.ChannelBytes = *channel
+		if *vcdepth > 0 {
+			cfg.NoC.FlitsPerVC = *vcdepth
+		}
+		if cfg.Layout, err = simspec.ParseLayout(*layout); err != nil {
+			fatalf("%v", err)
+		}
+		cfg.NoC.ReqOrder = cfg.Layout.ReqOrder
+		cfg.NoC.RepOrder = cfg.Layout.RepOrder
+		if cfg.NoC.Topology, err = simspec.ParseTopo(*topo); err != nil {
+			fatalf("%v", err)
+		}
+		if cfg.NoC.Routing, err = simspec.ParseRouting(*routing); err != nil {
+			fatalf("%v", err)
+		}
+		if cfg.GPU.Org, err = simspec.ParseOrg(*org); err != nil {
+			fatalf("%v", err)
+		}
 		runSweep(cfg, *gpuBench, *cpuBench, *scheme, *jobs, *cacheDir)
 		return
 	}
 
-	if cfg.Scheme, err = parseScheme(*scheme); err != nil {
+	// A single run is described by a spec — from -spec, or assembled
+	// from the individual flags — so both paths share one validation
+	// and one canonical rendering.
+	var spec simspec.Spec
+	if *specFile != "" {
+		if spec, err = readSpecFile(*specFile); err != nil {
+			fatalf("%v", err)
+		}
+	} else {
+		spec = simspec.Spec{
+			GPU: *gpuBench, CPU: *cpuBench, Scheme: *scheme, Layout: *layout,
+			Topo: *topo, Routing: *routing, L1Org: *org, ChannelBytes: *channel,
+			VCDepth: *vcdepth, Warmup: *warm, Cycles: *cycles, Seed: *seed,
+		}
+	}
+	cfg, norm, err := spec.Resolve()
+	if err != nil {
 		fatalf("%v", err)
 	}
 
-	sys := core.NewSystem(cfg, *gpuBench, *cpuBench)
+	sys := core.NewSystem(cfg, norm.GPU, norm.CPU)
 	var observer *obs.Observer
 	if *metricsOut != "" || *traceOut != "" || *clogFlag {
 		sample := uint64(0)
@@ -131,12 +165,7 @@ func main() {
 	flushObserver(observer, *metricsOut, *traceOut)
 
 	if *jsonOut {
-		out := struct {
-			GPU     string       `json:"gpu"`
-			CPU     string       `json:"cpu"`
-			Scheme  string       `json:"scheme"`
-			Results core.Results `json:"results"`
-		}{*gpuBench, *cpuBench, cfg.Scheme.String(), r}
+		out := simspec.NewResult(norm, r, sys.StatsDigest())
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(out); err != nil {
@@ -145,7 +174,7 @@ func main() {
 		return
 	}
 
-	fmt.Printf("workload           %s + %s\n", *gpuBench, *cpuBench)
+	fmt.Printf("workload           %s + %s\n", norm.GPU, norm.CPU)
 	fmt.Printf("scheme             %s  layout %s  topo %s  routing %s\n",
 		cfg.Scheme, cfg.Layout.Name, cfg.NoC.Topology, cfg.NoC.Routing)
 	fmt.Printf("cycles             %d (after %d warmup)\n", r.Cycles, cfg.WarmupCycles)
@@ -186,6 +215,19 @@ func main() {
 			fatalf("writing clog narrative: %v", err)
 		}
 	}
+}
+
+// readSpecFile reads one simulation spec from a file ("-" is stdin).
+func readSpecFile(path string) (simspec.Spec, error) {
+	if path == "-" {
+		return simspec.Read(os.Stdin)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return simspec.Spec{}, err
+	}
+	defer f.Close()
+	return simspec.Read(f)
 }
 
 // flushObserver writes the metric and trace files after the run (file

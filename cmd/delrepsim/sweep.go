@@ -7,76 +7,9 @@ import (
 
 	"delrep/internal/config"
 	"delrep/internal/runner"
+	"delrep/internal/simspec"
 	"delrep/internal/stats"
 )
-
-// Flag-value parsers shared by the single-run and sweep modes.
-
-func parseScheme(s string) (config.Scheme, error) {
-	switch strings.ToLower(s) {
-	case "baseline":
-		return config.SchemeBaseline, nil
-	case "delegated", "dr", "delegatedreplies":
-		return config.SchemeDelegatedReplies, nil
-	case "rp":
-		return config.SchemeRP, nil
-	}
-	return 0, fmt.Errorf("unknown scheme %q", s)
-}
-
-func parseLayout(s string) (config.Layout, error) {
-	switch strings.ToLower(s) {
-	case "baseline", "a":
-		return config.BaselineLayout(), nil
-	case "b":
-		return config.LayoutB(), nil
-	case "c":
-		return config.LayoutC(), nil
-	case "d":
-		return config.LayoutD(), nil
-	}
-	return config.Layout{}, fmt.Errorf("unknown layout %q", s)
-}
-
-func parseTopo(s string) (config.Topology, error) {
-	switch strings.ToLower(s) {
-	case "mesh":
-		return config.TopoMesh, nil
-	case "fbfly":
-		return config.TopoFlattenedButterfly, nil
-	case "dragonfly":
-		return config.TopoDragonfly, nil
-	case "crossbar":
-		return config.TopoCrossbar, nil
-	}
-	return 0, fmt.Errorf("unknown topology %q", s)
-}
-
-func parseRouting(s string) (config.RoutingAlg, error) {
-	switch strings.ToLower(s) {
-	case "cdr":
-		return config.RoutingCDR, nil
-	case "dyxy":
-		return config.RoutingDyXY, nil
-	case "footprint":
-		return config.RoutingFootprint, nil
-	case "hare":
-		return config.RoutingHARE, nil
-	}
-	return 0, fmt.Errorf("unknown routing %q", s)
-}
-
-func parseOrg(s string) (config.L1Org, error) {
-	switch strings.ToLower(s) {
-	case "private":
-		return config.L1Private, nil
-	case "dcl1", "dc-l1":
-		return config.L1DCL1, nil
-	case "dyneb":
-		return config.L1DynEB, nil
-	}
-	return 0, fmt.Errorf("unknown L1 organisation %q", s)
-}
 
 // openCache resolves the -cache flag: "off" disables the on-disk
 // cache, "auto" selects the per-user default directory (degrading to
@@ -106,6 +39,30 @@ func openCache(flagVal string) *runner.DiskCache {
 	}
 }
 
+// pruneCache implements -cache-prune: shrink the on-disk result cache
+// to the given size budget (oldest entries first) and report what was
+// evicted.
+func pruneCache(cacheFlag, sizeSpec string) {
+	maxBytes, err := runner.ParseSize(sizeSpec)
+	if err != nil {
+		fatalf("-cache-prune: %v", err)
+	}
+	cache := openCache(cacheFlag)
+	if cache == nil {
+		fatalf("-cache-prune needs a cache (-cache is %q)", cacheFlag)
+	}
+	before, err := cache.Size()
+	if err != nil {
+		fatalf("sizing cache %s: %v", cache.Dir(), err)
+	}
+	removed, freed, err := cache.Prune(maxBytes)
+	if err != nil {
+		fatalf("pruning cache %s: %v", cache.Dir(), err)
+	}
+	fmt.Printf("cache %s: %d -> %d bytes, %d entries removed (%d bytes freed)\n",
+		cache.Dir(), before, before-freed, removed, freed)
+}
+
 // runSweep runs the cross product of comma-separated -gpu, -cpu and
 // -scheme lists through the parallel engine and prints one row per
 // run. Rows appear in declaration order (schemes outermost, then GPU,
@@ -114,7 +71,7 @@ func openCache(flagVal string) *runner.DiskCache {
 func runSweep(cfg config.Config, gpuList, cpuList, schemeList string, jobs int, cacheFlag string) {
 	var schemes []config.Scheme
 	for _, s := range strings.Split(schemeList, ",") {
-		sc, err := parseScheme(strings.TrimSpace(s))
+		sc, err := simspec.ParseScheme(strings.TrimSpace(s))
 		if err != nil {
 			fatalf("%v", err)
 		}

@@ -165,6 +165,7 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	var failed int64
 	for _, e := range experiments() {
 		if !want[e.name] {
 			continue
@@ -191,6 +192,10 @@ func main() {
 			after.DiskHits-before.DiskHits+int64((r.observed-obsBefore)-(r.obsSims-simsBefore)),
 			after.MemoHits-before.MemoHits,
 			time.Since(start).Round(time.Second))
+		if d := after.Failed - before.Failed; d > 0 {
+			failed += d
+			fmt.Fprintf(os.Stderr, "  %s: %d simulation(s) FAILED\n", e.name, d)
+		}
 	}
 
 	c := eng.Counters()
@@ -201,6 +206,12 @@ func main() {
 	fmt.Fprintf(os.Stderr, "expdriver: %d simulations executed, %d disk-cache hits, %d in-process shares (-j %d, cache %s)\n",
 		c.Executed+int64(r.obsSims), c.DiskHits+int64(r.observed-r.obsSims), c.MemoHits,
 		eng.Workers(), where)
+	// A figure built on failed runs is quietly wrong; make the failure
+	// impossible to miss in scripts and CI.
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "expdriver: %d simulation(s) failed\n", failed)
+		os.Exit(1)
+	}
 }
 
 func usage() {

@@ -102,7 +102,10 @@ type AuditRun struct {
 // determinism audit runs it twice per configuration and requires
 // bit-identical outcomes.
 func RunAudit(cfg config.Config, gpuBench, cpuBench string) AuditRun {
-	sys := NewSystem(cfg, gpuBench, cpuBench)
-	res := sys.RunWorkload()
-	return AuditRun{Cycles: sys.Cycle(), Digest: sys.StatsDigest(), Results: res}
+	a, err := RunAuditCtrl(RunControl{}, cfg, gpuBench, cpuBench)
+	if err != nil {
+		// Unreachable: a zero RunControl has no context to cancel.
+		panic(err)
+	}
+	return a
 }

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"delrep/internal/config"
+)
+
+func ctlCfg() config.Config {
+	cfg := config.Default()
+	cfg.WarmupCycles = 300
+	cfg.MeasureCycles = 800
+	return cfg
+}
+
+// A controlled run chunked into small windows must be bit-identical to
+// the uncontrolled run: the checkpoints sit between ticks and must not
+// perturb the simulated state.
+func TestRunWorkloadCtxDigestIdentical(t *testing.T) {
+	cfg := ctlCfg()
+
+	ref := RunAudit(cfg, "HS", "vips")
+
+	sys := NewSystem(cfg, "HS", "vips")
+	var checkpoints int
+	res, err := sys.RunWorkloadCtx(RunControl{
+		Ctx:    context.Background(),
+		Window: 64,
+		OnProgress: func(done, total int64) {
+			checkpoints++
+			if want := cfg.WarmupCycles + cfg.MeasureCycles; total != want {
+				t.Fatalf("progress total = %d, want %d", total, want)
+			}
+			if done > cfg.WarmupCycles+cfg.MeasureCycles {
+				t.Fatalf("progress done = %d beyond the run", done)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatalf("controlled run failed: %v", err)
+	}
+	if checkpoints == 0 {
+		t.Fatal("OnProgress never called")
+	}
+	if got := sys.StatsDigest(); got != ref.Digest {
+		t.Fatalf("controlled digest %016x != uncontrolled %016x", got, ref.Digest)
+	}
+	if res != ref.Results {
+		t.Fatalf("controlled results differ from uncontrolled run")
+	}
+}
+
+// Cancellation is observed at the next window boundary and aborts the
+// run with the context's error.
+func TestRunWorkloadCtxCancel(t *testing.T) {
+	cfg := ctlCfg()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	sys := NewSystem(cfg, "HS", "vips")
+	_, err := sys.RunWorkloadCtx(RunControl{Ctx: ctx, Window: 64})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if c := sys.Cycle(); c != 64 {
+		t.Fatalf("cancelled after %d cycles, want exactly one 64-cycle window", c)
+	}
+}
+
+func TestRunAuditCtrlCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunAuditCtrl(RunControl{Ctx: ctx}, ctlCfg(), "HS", "vips")
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -528,10 +528,13 @@ func (s *System) ResetStats() {
 }
 
 // RunWorkload runs the configured warmup then measurement window and
-// returns the results.
+// returns the results. It is the uncontrolled form of RunWorkloadCtx;
+// the two are bit-identical for completed runs.
 func (s *System) RunWorkload() Results {
-	s.Run(s.Cfg.WarmupCycles)
-	s.ResetStats()
-	s.Run(s.Cfg.MeasureCycles)
-	return s.Collect()
+	r, err := s.RunWorkloadCtx(RunControl{})
+	if err != nil {
+		// Unreachable: a zero RunControl has no context to cancel.
+		panic(err)
+	}
+	return r
 }

@@ -4,8 +4,13 @@ import (
 	"crypto/sha256"
 	"encoding/gob"
 	"encoding/hex"
+	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
 
 	"delrep/internal/core"
 )
@@ -36,9 +41,14 @@ func OpenDiskCache(dir string) (*DiskCache, error) {
 	return &DiskCache{dir: dir}, nil
 }
 
-// DefaultCacheDir returns the per-user default cache location
-// (<user cache dir>/delrep).
+// DefaultCacheDir returns the default cache location: $DELREP_CACHE_DIR
+// when set, otherwise <user cache dir>/delrep. The environment variable
+// lets the daemon and the CLIs share one cache without threading a
+// directory flag through every invocation.
 func DefaultCacheDir() (string, error) {
+	if dir := os.Getenv("DELREP_CACHE_DIR"); dir != "" {
+		return dir, nil
+	}
 	base, err := os.UserCacheDir()
 	if err != nil {
 		return "", err
@@ -116,6 +126,118 @@ func (c *DiskCache) PutBlob(key string, data []byte) error {
 	return c.write(c.path(key, ".blob"), blobEntry{
 		Version: Version, Key: key, Data: data,
 	})
+}
+
+// Size returns the total bytes currently held by cache entries (.run
+// and .blob files; in-flight temp files are excluded).
+func (c *DiskCache) Size() (int64, error) {
+	files, err := c.entries()
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, f := range files {
+		total += f.size
+	}
+	return total, nil
+}
+
+// cacheFile is one on-disk entry considered by Prune.
+type cacheFile struct {
+	name  string
+	size  int64
+	mtime time.Time
+}
+
+// entries lists the cache's .run and .blob files.
+func (c *DiskCache) entries() ([]cacheFile, error) {
+	ents, err := os.ReadDir(c.dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []cacheFile
+	for _, de := range ents {
+		if de.IsDir() {
+			continue
+		}
+		name := de.Name()
+		if !strings.HasSuffix(name, ".run") && !strings.HasSuffix(name, ".blob") {
+			continue
+		}
+		info, err := de.Info()
+		if err != nil {
+			continue // deleted by a concurrent prune; skip
+		}
+		files = append(files, cacheFile{name: name, size: info.Size(), mtime: info.ModTime()})
+	}
+	return files, nil
+}
+
+// Prune deletes cache entries, oldest modification time first, until
+// the entries' total size is at most maxBytes. Ties on mtime break by
+// filename so concurrent pruners converge on the same victims. A
+// long-lived process (the delrepd daemon) calls this after executed
+// runs to bound its disk use; losing an entry only costs a future
+// re-simulation, never correctness.
+func (c *DiskCache) Prune(maxBytes int64) (removed int, freed int64, err error) {
+	if maxBytes < 0 {
+		maxBytes = 0
+	}
+	files, err := c.entries()
+	if err != nil {
+		return 0, 0, err
+	}
+	var total int64
+	for _, f := range files {
+		total += f.size
+	}
+	sort.Slice(files, func(i, j int) bool {
+		if !files[i].mtime.Equal(files[j].mtime) {
+			return files[i].mtime.Before(files[j].mtime)
+		}
+		return files[i].name < files[j].name
+	})
+	for _, f := range files {
+		if total <= maxBytes {
+			break
+		}
+		if err := os.Remove(filepath.Join(c.dir, f.name)); err != nil {
+			if os.IsNotExist(err) {
+				total -= f.size // a concurrent pruner got there first
+				continue
+			}
+			return removed, freed, err
+		}
+		total -= f.size
+		freed += f.size
+		removed++
+	}
+	return removed, freed, nil
+}
+
+// ParseSize parses a human-readable byte size: a plain integer, or an
+// integer with a K/M/G/T suffix in binary units (an optional trailing
+// "B" or "iB" is accepted), e.g. "1048576", "512M", "2GiB".
+func ParseSize(s string) (int64, error) {
+	t := strings.TrimSpace(strings.ToUpper(s))
+	t = strings.TrimSuffix(t, "IB")
+	t = strings.TrimSuffix(t, "B")
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(t, "K"):
+		mult, t = 1<<10, strings.TrimSuffix(t, "K")
+	case strings.HasSuffix(t, "M"):
+		mult, t = 1<<20, strings.TrimSuffix(t, "M")
+	case strings.HasSuffix(t, "G"):
+		mult, t = 1<<30, strings.TrimSuffix(t, "G")
+	case strings.HasSuffix(t, "T"):
+		mult, t = 1<<40, strings.TrimSuffix(t, "T")
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(t), 10, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("invalid size %q", s)
+	}
+	return n * mult, nil
 }
 
 func (c *DiskCache) write(path string, v any) error {

@@ -1,0 +1,112 @@
+package runner
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestDefaultCacheDirEnvOverride(t *testing.T) {
+	t.Setenv("DELREP_CACHE_DIR", "/tmp/delrep-cache-env-test")
+	dir, err := DefaultCacheDir()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dir != "/tmp/delrep-cache-env-test" {
+		t.Fatalf("DefaultCacheDir = %q, want the DELREP_CACHE_DIR value", dir)
+	}
+}
+
+func TestPruneOldestFirst(t *testing.T) {
+	dir := t.TempDir()
+	cache, err := OpenDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := []string{"old", "mid", "new"}
+	var sizes []int64
+	base := time.Now().Add(-time.Hour)
+	for i, k := range keys {
+		if err := cache.PutBlob(k, make([]byte, 100*(i+1))); err != nil {
+			t.Fatal(err)
+		}
+		// Stamp distinct mtimes so the eviction order is deterministic.
+		path := cache.path(k, ".blob")
+		mt := base.Add(time.Duration(i) * time.Minute)
+		if err := os.Chtimes(path, mt, mt); err != nil {
+			t.Fatal(err)
+		}
+		info, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes = append(sizes, info.Size())
+	}
+	total, err := cache.Size()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := sizes[0] + sizes[1] + sizes[2]; total != want {
+		t.Fatalf("Size = %d, want %d", total, want)
+	}
+
+	// Prune to a budget that forces exactly the oldest entry out.
+	removed, freed, err := cache.Prune(total - 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 1 || freed != sizes[0] {
+		t.Fatalf("Prune removed %d (freed %d), want 1 (freed %d)", removed, freed, sizes[0])
+	}
+	if _, ok := cache.GetBlob("old"); ok {
+		t.Fatal("oldest entry survived the prune")
+	}
+	for _, k := range keys[1:] {
+		if _, ok := cache.GetBlob(k); !ok {
+			t.Fatalf("entry %q was pruned out of order", k)
+		}
+	}
+
+	// Prune to zero clears everything but leaves the directory usable.
+	if _, _, err := cache.Prune(0); err != nil {
+		t.Fatal(err)
+	}
+	if total, _ := cache.Size(); total != 0 {
+		t.Fatalf("Size after Prune(0) = %d, want 0", total)
+	}
+	if err := cache.PutBlob("again", []byte("x")); err != nil {
+		t.Fatalf("cache unusable after full prune: %v", err)
+	}
+	if filepath.Dir(cache.path("again", ".blob")) != dir {
+		t.Fatal("cache path escaped its directory")
+	}
+}
+
+func TestParseSize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int64
+		ok   bool
+	}{
+		{"0", 0, true},
+		{"1048576", 1 << 20, true},
+		{"4K", 4 << 10, true},
+		{"512M", 512 << 20, true},
+		{"2G", 2 << 30, true},
+		{"2GB", 2 << 30, true},
+		{"2GiB", 2 << 30, true},
+		{"1T", 1 << 40, true},
+		{" 3 M ", 3 << 20, true},
+		{"", 0, false},
+		{"-1", 0, false},
+		{"12Q", 0, false},
+		{"M", 0, false},
+	}
+	for _, c := range cases {
+		got, err := ParseSize(c.in)
+		if c.ok != (err == nil) || (c.ok && got != c.want) {
+			t.Errorf("ParseSize(%q) = %d, %v; want %d, ok=%v", c.in, got, err, c.want, c.ok)
+		}
+	}
+}

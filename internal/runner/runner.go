@@ -40,10 +40,12 @@
 package runner
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"delrep/internal/config"
 	"delrep/internal/core"
@@ -91,15 +93,22 @@ type Run struct {
 	// same Spec must agree on it bit-for-bit.
 	Digest uint64
 	Source Source
+	// Err is non-nil when the run did not produce a result: the
+	// simulation was cancelled (context.Canceled) or panicked. Results
+	// and Digest are zero in that case, and the run was neither cached
+	// nor left in the memo table.
+	Err error
 }
 
-// Counters reports the engine's accounting. Every Submit call resolves
-// to exactly one of the three buckets, so Executed+MemoHits+DiskHits
-// equals the number of submissions.
+// Counters reports the engine's accounting. Every submission that
+// starts a fresh execution resolves to exactly one of Executed,
+// DiskHits, or Failed; MemoHits counts submissions folded onto an
+// already-submitted Future (whatever that future later resolves to).
 type Counters struct {
-	Executed int64 // simulations actually run in this process
+	Executed int64 // simulations run to completion in this process
 	MemoHits int64 // submissions served by an earlier in-process submission
 	DiskHits int64 // submissions served by the on-disk cache
+	Failed   int64 // executions that ended in error (cancelled or panicked)
 }
 
 // Options configures an Engine.
@@ -159,6 +168,14 @@ type Future struct {
 	key  string
 	done chan struct{}
 	run  Run
+
+	progDone  atomic.Int64
+	progTotal atomic.Int64
+
+	mu      sync.Mutex
+	waiters int  // cancellable submissions still interested
+	pinned  bool // a non-cancellable submission wants the result
+	cancel  context.CancelFunc
 }
 
 // Spec returns the submitted spec.
@@ -173,33 +190,104 @@ func (f *Future) Wait() Run {
 // Results blocks until the simulation completes and returns its Results.
 func (f *Future) Results() core.Results { return f.Wait().Results }
 
+// Progress returns the cycles simulated so far and the run's total
+// cycles (warm-up + measurement). Both are 0 until the simulation
+// reaches its first checkpoint; a cache hit reports done == total
+// immediately. Safe to call concurrently with the run.
+func (f *Future) Progress() (done, total int64) {
+	return f.progDone.Load(), f.progTotal.Load()
+}
+
+// addWaiter registers one submission's interest in the future. A
+// context that can never be cancelled (context.Background and friends)
+// pins the future: it then runs to completion no matter what other
+// waiters do. Otherwise the future's execution is cancelled once every
+// registered cancellable context has been cancelled.
+func (f *Future) addWaiter(ctx context.Context) {
+	if ctx == nil || ctx.Done() == nil {
+		f.mu.Lock()
+		f.pinned = true
+		f.mu.Unlock()
+		return
+	}
+	f.mu.Lock()
+	f.waiters++
+	f.mu.Unlock()
+	go func() {
+		select {
+		case <-ctx.Done():
+			f.mu.Lock()
+			f.waiters--
+			if f.waiters == 0 && !f.pinned {
+				f.cancel()
+			}
+			f.mu.Unlock()
+		case <-f.done:
+		}
+	}()
+}
+
 // Submit schedules one simulation on the pool and returns its Future.
 // A spec whose Key matches an earlier submission returns the earlier
 // Future (counted as a memo hit); otherwise the disk cache is
-// consulted and, on a miss, the simulation executes on a worker.
+// consulted and, on a miss, the simulation executes on a worker. The
+// returned future is pinned: it cannot be cancelled.
 func (e *Engine) Submit(spec Spec) *Future {
+	return e.SubmitCtx(context.Background(), spec)
+}
+
+// SubmitCtx is Submit with cancellation: if ctx is cancelled before
+// the simulation completes — and every other submission interested in
+// the same future has also been cancelled — the run is aborted at its
+// next cycle-window checkpoint, its worker slot is freed, and Wait
+// returns a Run with Err set. A cancelled or failed future is removed
+// from the memo table before it completes, so a later submission of
+// the same spec re-executes.
+func (e *Engine) SubmitCtx(ctx context.Context, spec Spec) *Future {
 	k := Key(spec.Cfg, spec.GPU, spec.CPU)
 	e.mu.Lock()
 	if f, ok := e.memo[k]; ok {
 		//simlint:ignore statsdiscipline harness accounting over the engine's lifetime, not a measurement-window stat
 		e.counters.MemoHits++
 		e.mu.Unlock()
+		f.addWaiter(ctx)
 		return f
 	}
-	f := &Future{spec: spec, key: k, done: make(chan struct{})}
+	runCtx, cancel := context.WithCancel(context.Background())
+	f := &Future{spec: spec, key: k, done: make(chan struct{}), cancel: cancel}
 	e.memo[k] = f
 	e.mu.Unlock()
-	go e.execute(f)
+	f.addWaiter(ctx)
+	go e.execute(f, runCtx)
 	return f
 }
 
 // Run submits one simulation and waits for it.
 func (e *Engine) Run(spec Spec) Run { return e.Submit(spec).Wait() }
 
-func (e *Engine) execute(f *Future) {
+func (e *Engine) execute(f *Future, runCtx context.Context) {
+	defer func() {
+		if f.run.Err != nil {
+			// A failed or cancelled run must not satisfy later
+			// submissions of the same spec: drop it from the memo
+			// table before anyone can observe completion.
+			e.mu.Lock()
+			delete(e.memo, f.key)
+			//simlint:ignore statsdiscipline harness accounting over the engine's lifetime, not a measurement-window stat
+			e.counters.Failed++
+			e.mu.Unlock()
+		}
+		close(f.done)
+	}()
+
 	e.sem <- struct{}{}
 	defer func() { <-e.sem }()
-	defer close(f.done)
+
+	if err := runCtx.Err(); err != nil {
+		// Cancelled while waiting for a worker slot.
+		f.run = Run{Spec: f.spec, Err: err}
+		return
+	}
 
 	if e.cache != nil {
 		if res, digest, ok := e.cache.Get(f.key); ok {
@@ -207,6 +295,9 @@ func (e *Engine) execute(f *Future) {
 			//simlint:ignore statsdiscipline harness accounting over the engine's lifetime, not a measurement-window stat
 			e.counters.DiskHits++
 			e.mu.Unlock()
+			total := f.spec.Cfg.WarmupCycles + f.spec.Cfg.MeasureCycles
+			f.progTotal.Store(total)
+			f.progDone.Store(total)
 			f.run = Run{Spec: f.spec, Results: res, Digest: digest, Source: SourceDisk}
 			return
 		}
@@ -221,7 +312,11 @@ func (e *Engine) execute(f *Future) {
 		e.mu.Unlock()
 	}
 
-	a := core.RunAudit(f.spec.Cfg, f.spec.GPU, f.spec.CPU)
+	a, err := runAudit(runCtx, f)
+	if err != nil {
+		f.run = Run{Spec: f.spec, Err: err}
+		return
+	}
 	e.mu.Lock()
 	//simlint:ignore statsdiscipline harness accounting over the engine's lifetime, not a measurement-window stat
 	e.counters.Executed++
@@ -231,6 +326,25 @@ func (e *Engine) execute(f *Future) {
 		// Best effort: a full or read-only cache must not fail the run.
 		_ = e.cache.Put(f.key, a.Digest, a.Results)
 	}
+}
+
+// runAudit executes the simulation under the future's run context,
+// converting a panic (an invalid configuration, a simulator bug) into
+// an error so one bad spec cannot take down a long-lived process that
+// shares this engine.
+func runAudit(runCtx context.Context, f *Future) (a core.AuditRun, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("simulation panicked: %v", p)
+		}
+	}()
+	return core.RunAuditCtrl(core.RunControl{
+		Ctx: runCtx,
+		OnProgress: func(done, total int64) {
+			f.progDone.Store(done)
+			f.progTotal.Store(total)
+		},
+	}, f.spec.Cfg, f.spec.GPU, f.spec.CPU)
 }
 
 // Batch collects declared runs and delivers their results in

@@ -1,0 +1,140 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"delrep/internal/config"
+	"delrep/internal/runner"
+	"delrep/internal/simspec"
+)
+
+// Status is a job's lifecycle state. Transitions are monotonic:
+// queued → running → {done, failed, cancelled}, with queued →
+// cancelled allowed for jobs cancelled (or drained at shutdown) before
+// a worker picked them up.
+type Status string
+
+const (
+	StatusQueued    Status = "queued"
+	StatusRunning   Status = "running"
+	StatusDone      Status = "done"
+	StatusFailed    Status = "failed"
+	StatusCancelled Status = "cancelled"
+)
+
+// Terminal reports whether the status is final.
+func (s Status) Terminal() bool {
+	return s == StatusDone || s == StatusFailed || s == StatusCancelled
+}
+
+// Priority orders jobs in the queue: all queued high-priority jobs
+// dispatch before any normal one, and so on. Within a priority level
+// dispatch is strictly FIFO.
+type Priority int
+
+const (
+	PrioLow Priority = iota
+	PrioNormal
+	PrioHigh
+	numPriorities
+)
+
+// ParsePriority parses a job priority ("" defaults to normal).
+func ParsePriority(s string) (Priority, error) {
+	switch s {
+	case "", "normal":
+		return PrioNormal, nil
+	case "low":
+		return PrioLow, nil
+	case "high":
+		return PrioHigh, nil
+	}
+	return 0, fmt.Errorf("unknown priority %q (want low, normal, or high)", s)
+}
+
+func (p Priority) String() string {
+	switch p {
+	case PrioLow:
+		return "low"
+	case PrioHigh:
+		return "high"
+	}
+	return "normal"
+}
+
+// Job is one submitted simulation. Identity fields are immutable after
+// creation; mutable state is guarded by the owning Server's mutex.
+type Job struct {
+	id     string
+	client string
+	prio   Priority
+	spec   simspec.Spec // canonical form, echoed back to clients
+	cfg    config.Config
+	ctx    context.Context
+	cancel context.CancelFunc
+	// doneCh closes when the job reaches a terminal status.
+	doneCh chan struct{}
+
+	// Guarded by Server.mu.
+	status   Status
+	errMsg   string
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	fut      *runner.Future
+	run      runner.Run
+	subs     map[chan sseEvent]struct{}
+}
+
+// progressView is the running-job progress fragment of a job view.
+type progressView struct {
+	CyclesDone  int64 `json:"cycles_done"`
+	CyclesTotal int64 `json:"cycles_total"`
+}
+
+// jobView is the JSON rendering of a job returned by the API.
+type jobView struct {
+	ID       string          `json:"id"`
+	Status   Status          `json:"status"`
+	Priority string          `json:"priority"`
+	Client   string          `json:"client,omitempty"`
+	Spec     simspec.Spec    `json:"spec"`
+	Created  string          `json:"created"`
+	Started  string          `json:"started,omitempty"`
+	Finished string          `json:"finished,omitempty"`
+	Source   string          `json:"source,omitempty"`
+	Error    string          `json:"error,omitempty"`
+	Progress *progressView   `json:"progress,omitempty"`
+	Result   *simspec.Result `json:"result,omitempty"`
+}
+
+// viewLocked renders the job; the server's mutex must be held.
+func (j *Job) viewLocked() jobView {
+	v := jobView{
+		ID:       j.id,
+		Status:   j.status,
+		Priority: j.prio.String(),
+		Client:   j.client,
+		Spec:     j.spec,
+		Created:  j.created.UTC().Format(time.RFC3339Nano),
+		Error:    j.errMsg,
+	}
+	if !j.started.IsZero() {
+		v.Started = j.started.UTC().Format(time.RFC3339Nano)
+	}
+	if !j.finished.IsZero() {
+		v.Finished = j.finished.UTC().Format(time.RFC3339Nano)
+	}
+	if j.status == StatusRunning && j.fut != nil {
+		done, total := j.fut.Progress()
+		v.Progress = &progressView{CyclesDone: done, CyclesTotal: total}
+	}
+	if j.status == StatusDone {
+		v.Source = j.run.Source.String()
+		r := simspec.NewResult(j.spec, j.run.Results, j.run.Digest)
+		v.Result = &r
+	}
+	return v
+}

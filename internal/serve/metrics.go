@@ -1,0 +1,77 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// handleHealthz is liveness: the process is up and serving HTTP.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz is readiness: 200 while accepting jobs, 503 once
+// draining so load balancers stop routing new submissions here.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if draining {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ready")
+}
+
+// handleMetrics writes the daemon's state in the Prometheus text
+// exposition format: queue and worker gauges, terminal-outcome and
+// admission-rejection counters, the engine's cache accounting, and the
+// job latency histogram.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	c := s.eng.Counters()
+
+	s.mu.Lock()
+	var b strings.Builder
+	fmt.Fprintf(&b, "# TYPE delrepd_jobs_queued gauge\ndelrepd_jobs_queued %d\n", s.queuedCount)
+	fmt.Fprintf(&b, "# TYPE delrepd_jobs_running gauge\ndelrepd_jobs_running %d\n", s.runningCount)
+	fmt.Fprintf(&b, "# TYPE delrepd_workers gauge\ndelrepd_workers %d\n", s.workers)
+	fmt.Fprintf(&b, "# TYPE delrepd_worker_utilization gauge\ndelrepd_worker_utilization %g\n",
+		float64(s.runningCount)/float64(s.workers))
+
+	fmt.Fprintf(&b, "# TYPE delrepd_jobs_total counter\n")
+	for _, st := range []Status{StatusDone, StatusFailed, StatusCancelled} {
+		fmt.Fprintf(&b, "delrepd_jobs_total{status=%q} %d\n", st, s.statusCounts[st])
+	}
+	fmt.Fprintf(&b, "# TYPE delrepd_rejects_total counter\n")
+	for _, reason := range []string{"queue_full", "client_cap"} {
+		fmt.Fprintf(&b, "delrepd_rejects_total{reason=%q} %d\n", reason, s.rejects[reason])
+	}
+
+	fmt.Fprintf(&b, "# TYPE delrepd_engine_runs_total counter\n")
+	fmt.Fprintf(&b, "delrepd_engine_runs_total{source=\"executed\"} %d\n", c.Executed)
+	fmt.Fprintf(&b, "delrepd_engine_runs_total{source=\"memo\"} %d\n", c.MemoHits)
+	fmt.Fprintf(&b, "delrepd_engine_runs_total{source=\"disk\"} %d\n", c.DiskHits)
+	fmt.Fprintf(&b, "delrepd_engine_runs_total{source=\"failed\"} %d\n", c.Failed)
+	// Hit ratio over resolved submissions: memo and disk hits per
+	// submission that produced a result.
+	if resolved := c.Executed + c.MemoHits + c.DiskHits; resolved > 0 {
+		fmt.Fprintf(&b, "# TYPE delrepd_cache_hit_ratio gauge\ndelrepd_cache_hit_ratio %g\n",
+			float64(c.MemoHits+c.DiskHits)/float64(resolved))
+	} else {
+		fmt.Fprintf(&b, "# TYPE delrepd_cache_hit_ratio gauge\ndelrepd_cache_hit_ratio 0\n")
+	}
+
+	err := s.latency.WriteProm(&b, "delrepd_job_seconds")
+	s.mu.Unlock()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "rendering metrics: %v", err)
+		return
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	fmt.Fprint(w, b.String())
+}

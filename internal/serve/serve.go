@@ -1,0 +1,552 @@
+// Package serve exposes the simulator as a long-lived HTTP service:
+// simulation-as-a-service on top of the deterministic parallel engine
+// in internal/runner.
+//
+// The daemon amortizes exactly what design-space sweeps need: many
+// clients submitting overlapping configuration points against one warm
+// content-addressed result cache. A job that hits the cache (on disk
+// or deduplicated in-process) short-circuits execution and returns a
+// result byte-identical — same stats digest, same float bit patterns —
+// to a direct delrepsim run of the same spec.
+//
+// The API (all JSON unless noted):
+//
+//	POST   /v1/jobs             submit a spec; 202 with the job, or 429
+//	                            (Retry-After) when admission control
+//	                            rejects it. ?wait=1 blocks until the
+//	                            job finishes; a client that disconnects
+//	                            while waiting cancels its job.
+//	GET    /v1/jobs             list jobs, newest last
+//	GET    /v1/jobs/{id}        job status, progress, and result
+//	GET    /v1/jobs/{id}/events server-sent events: status transitions
+//	                            and cycle-level progress
+//	DELETE /v1/jobs/{id}        cancel a queued or running job
+//	GET    /healthz             liveness (always ok while serving)
+//	GET    /readyz              readiness (503 once draining)
+//	GET    /metrics             text exposition of queue depth, worker
+//	                            utilization, cache hit ratio, and the
+//	                            job latency histogram
+//
+// Admission control is two-layered: a bounded queue (a full queue
+// answers 429 with a Retry-After estimated from recent job latency)
+// and a per-client in-flight cap, so one greedy sweep cannot starve
+// interactive users. Scheduling is strict priority with FIFO order
+// within each level.
+//
+// Cancellation is cooperative end to end: DELETE (or a dropped ?wait
+// connection) cancels the job's context, the runner engine propagates
+// it into the simulation's cycle-window checkpoints (core.RunControl),
+// and the freed worker slot immediately dispatches the next queued
+// job. Cancelling one job never disturbs another that shares its
+// deduplicated future.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"delrep/internal/runner"
+	"delrep/internal/simspec"
+	"delrep/internal/stats"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Engine runs the simulations. Required.
+	Engine *runner.Engine
+	// Workers bounds concurrently running jobs; <= 0 uses the engine's
+	// worker count.
+	Workers int
+	// QueueDepth bounds jobs waiting for a worker; a full queue rejects
+	// submissions with 429. <= 0 selects 64.
+	QueueDepth int
+	// ClientInFlight caps one client's queued+running jobs; 0 disables
+	// the cap.
+	ClientInFlight int
+	// CacheMaxBytes, when > 0, prunes the engine's disk cache (oldest
+	// entries first) to this size after each executed job, bounding a
+	// long-lived daemon's disk use.
+	CacheMaxBytes int64
+	// ProgressInterval is the SSE progress-event cadence for running
+	// jobs; <= 0 selects 500ms.
+	ProgressInterval time.Duration
+	// Logf, when non-nil, receives one line per job transition.
+	Logf func(format string, args ...any)
+}
+
+// Server is the simulation daemon. Create with New; serve its
+// Handler; stop with Shutdown.
+type Server struct {
+	eng           *runner.Engine
+	workers       int
+	queueDepth    int
+	clientCap     int
+	cacheMax      int64
+	progressEvery time.Duration
+	logf          func(string, ...any)
+	mux           *http.ServeMux
+	wg            sync.WaitGroup
+	pruneMu       sync.Mutex
+
+	mu           sync.Mutex
+	cond         *sync.Cond
+	jobs         map[string]*Job
+	order        []*Job // submission order, for listing
+	queue        [numPriorities][]*Job
+	queuedCount  int
+	runningCount int
+	inflight     map[string]int // client -> queued+running jobs
+	seq          int
+	draining     bool
+
+	latency      *stats.Histogram // completed-job wall seconds
+	statusCounts map[Status]int64 // terminal outcomes
+	rejects      map[string]int64 // admission rejections by reason
+}
+
+// New builds a Server and starts its worker pool.
+func New(opts Options) *Server {
+	if opts.Engine == nil {
+		panic("serve: Options.Engine is required")
+	}
+	s := &Server{
+		eng:           opts.Engine,
+		workers:       opts.Workers,
+		queueDepth:    opts.QueueDepth,
+		clientCap:     opts.ClientInFlight,
+		cacheMax:      opts.CacheMaxBytes,
+		progressEvery: opts.ProgressInterval,
+		logf:          opts.Logf,
+		jobs:          map[string]*Job{},
+		inflight:      map[string]int{},
+		// 60 one-second buckets; sweeps that run longer land in +Inf.
+		latency:      stats.NewHistogram(60, 1),
+		statusCounts: map[Status]int64{},
+		rejects:      map[string]int64{},
+	}
+	if s.workers <= 0 {
+		s.workers = opts.Engine.Workers()
+	}
+	if s.queueDepth <= 0 {
+		s.queueDepth = 64
+	}
+	if s.progressEvery <= 0 {
+		s.progressEvery = 500 * time.Millisecond
+	}
+	if s.logf == nil {
+		s.logf = func(string, ...any) {}
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	for i := 0; i < s.workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Handler returns the HTTP handler serving the API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Workers returns the concurrent-job bound.
+func (s *Server) Workers() int { return s.workers }
+
+// submitRequest is the POST /v1/jobs body.
+type submitRequest struct {
+	Spec     simspec.Spec `json:"spec"`
+	Priority string       `json:"priority,omitempty"`
+	Client   string       `json:"client,omitempty"`
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req submitRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	prio, err := ParsePriority(req.Priority)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	cfg, norm, err := req.Spec.Resolve()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	client := req.Client
+	if client == "" {
+		client = r.Header.Get("X-Delrep-Client")
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	if s.clientCap > 0 && s.inflight[client] >= s.clientCap {
+		retry := s.retryAfterLocked()
+		s.rejects["client_cap"]++
+		s.mu.Unlock()
+		w.Header().Set("Retry-After", strconv.Itoa(retry))
+		writeError(w, http.StatusTooManyRequests,
+			"client %q already has %d jobs in flight (cap %d)", client, s.clientCap, s.clientCap)
+		return
+	}
+	if s.queuedCount >= s.queueDepth {
+		retry := s.retryAfterLocked()
+		s.rejects["queue_full"]++
+		s.mu.Unlock()
+		w.Header().Set("Retry-After", strconv.Itoa(retry))
+		writeError(w, http.StatusTooManyRequests,
+			"job queue is full (%d queued)", s.queueDepth)
+		return
+	}
+	s.seq++
+	ctx, cancel := context.WithCancel(context.Background())
+	//simlint:ignore rngsource daemon job timestamp, outside any simulation
+	created := time.Now()
+	j := &Job{
+		id:      fmt.Sprintf("j%06d", s.seq),
+		client:  client,
+		prio:    prio,
+		spec:    norm,
+		cfg:     cfg,
+		ctx:     ctx,
+		cancel:  cancel,
+		doneCh:  make(chan struct{}),
+		status:  StatusQueued,
+		created: created,
+		subs:    map[chan sseEvent]struct{}{},
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j)
+	s.queue[prio] = append(s.queue[prio], j)
+	s.queuedCount++
+	s.inflight[client]++
+	view := j.viewLocked()
+	s.cond.Signal()
+	s.mu.Unlock()
+	s.logf("job %s queued: %s+%s %s prio=%s client=%q",
+		j.id, norm.GPU, norm.CPU, norm.Scheme, prio, client)
+
+	if r.URL.Query().Has("wait") {
+		select {
+		case <-j.doneCh:
+			s.mu.Lock()
+			view = j.viewLocked()
+			s.mu.Unlock()
+			writeJSON(w, http.StatusOK, view)
+		case <-r.Context().Done():
+			// The waiting client went away: its job goes with it, so a
+			// dropped connection cannot pin a worker slot.
+			s.cancelJob(j)
+		}
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+j.id)
+	writeJSON(w, http.StatusAccepted, view)
+}
+
+// retryAfterLocked estimates seconds until a queue slot frees up:
+// recent mean job latency times the queue backlog per worker.
+func (s *Server) retryAfterLocked() int {
+	mean := s.latency.Mean()
+	if s.latency.Count() == 0 || mean <= 0 {
+		return 1
+	}
+	est := int(math.Ceil(mean * float64(s.queuedCount+1) / float64(s.workers)))
+	if est < 1 {
+		est = 1
+	}
+	if est > 600 {
+		est = 600
+	}
+	return est
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	views := make([]jobView, 0, len(s.order))
+	for _, j := range s.order {
+		v := j.viewLocked()
+		v.Result = nil // keep listings light; fetch the job for results
+		views = append(views, v)
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, struct {
+		Jobs []jobView `json:"jobs"`
+	}{views})
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	j, ok := s.jobs[r.PathValue("id")]
+	if !ok {
+		s.mu.Unlock()
+		writeError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	view := j.viewLocked()
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, view)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	j, ok := s.jobs[r.PathValue("id")]
+	if !ok {
+		s.mu.Unlock()
+		writeError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	if j.status.Terminal() {
+		view := j.viewLocked()
+		s.mu.Unlock()
+		writeJSON(w, http.StatusConflict, view)
+		return
+	}
+	s.mu.Unlock()
+	s.cancelJob(j)
+	s.mu.Lock()
+	view := j.viewLocked()
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, view)
+}
+
+// cancelJob cancels a job in any non-terminal state: a queued job
+// finishes immediately as cancelled; a running job's context is
+// cancelled and its worker completes the transition at the next
+// simulation checkpoint.
+func (s *Server) cancelJob(j *Job) {
+	s.mu.Lock()
+	if j.status == StatusQueued {
+		s.finishQueuedLocked(j, "cancelled before start")
+		s.mu.Unlock()
+		j.cancel()
+		return
+	}
+	s.mu.Unlock()
+	// Running (or already terminal, in which case this is a no-op):
+	// the worker owns the bookkeeping.
+	j.cancel()
+}
+
+// finishQueuedLocked retires a job that never started. Callers hold
+// s.mu and must call j.cancel() afterwards (outside the transition) to
+// release the context's resources.
+func (s *Server) finishQueuedLocked(j *Job, msg string) {
+	j.status = StatusCancelled
+	j.errMsg = msg
+	//simlint:ignore rngsource daemon job timestamp, outside any simulation
+	j.finished = time.Now()
+	s.queuedCount--
+	s.dropInflightLocked(j.client)
+	s.statusCounts[StatusCancelled]++
+	s.notifyLocked(j)
+	close(j.doneCh)
+}
+
+func (s *Server) dropInflightLocked(client string) {
+	if s.inflight[client]--; s.inflight[client] <= 0 {
+		delete(s.inflight, client)
+	}
+}
+
+// worker dispatches queued jobs until shutdown drains the queue.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		j := s.next()
+		if j == nil {
+			return
+		}
+		s.runJob(j)
+	}
+}
+
+// next blocks until a job is dispatchable and marks it running.
+// Highest priority wins; FIFO within a priority. Returns nil when the
+// server is draining and the queue is empty.
+func (s *Server) next() *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		for p := numPriorities - 1; p >= 0; p-- {
+			for len(s.queue[p]) > 0 {
+				j := s.queue[p][0]
+				s.queue[p] = s.queue[p][1:]
+				if j.status != StatusQueued {
+					continue // cancelled while queued; already retired
+				}
+				if j.ctx.Err() != nil {
+					// Cancelled through its context (a vanished ?wait
+					// client) without going through cancelJob.
+					s.finishQueuedLocked(j, "cancelled before start")
+					continue
+				}
+				s.queuedCount--
+				j.status = StatusRunning
+				//simlint:ignore rngsource daemon job timestamp, outside any simulation
+				j.started = time.Now()
+				s.runningCount++
+				s.notifyLocked(j)
+				return j
+			}
+		}
+		if s.draining {
+			return nil
+		}
+		s.cond.Wait()
+	}
+}
+
+// runJob executes one dispatched job on the engine and retires it.
+func (s *Server) runJob(j *Job) {
+	rspec := runner.Spec{Cfg: j.cfg, GPU: j.spec.GPU, CPU: j.spec.CPU}
+	var run runner.Run
+	for {
+		fut := s.eng.SubmitCtx(j.ctx, rspec)
+		s.mu.Lock()
+		j.fut = fut
+		s.mu.Unlock()
+		run = fut.Wait()
+		if run.Err == nil || j.ctx.Err() != nil || !errors.Is(run.Err, context.Canceled) {
+			break
+		}
+		// The shared future was cancelled by a different job's waiter
+		// between our submission and completion; this job is still
+		// wanted, so resubmit (the failed future has left the memo).
+	}
+
+	//simlint:ignore rngsource daemon job timestamp, outside any simulation
+	now := time.Now()
+	s.mu.Lock()
+	j.finished = now
+	s.runningCount--
+	s.dropInflightLocked(j.client)
+	s.latency.Add(now.Sub(j.started).Seconds())
+	switch {
+	case run.Err == nil:
+		j.run = run
+		j.status = StatusDone
+	case j.ctx.Err() != nil && errors.Is(run.Err, context.Canceled):
+		j.status = StatusCancelled
+		j.errMsg = "cancelled"
+	default:
+		j.status = StatusFailed
+		j.errMsg = run.Err.Error()
+	}
+	s.statusCounts[j.status]++
+	s.notifyLocked(j)
+	close(j.doneCh)
+	status, errMsg := j.status, j.errMsg
+	s.mu.Unlock()
+
+	if errMsg != "" {
+		s.logf("job %s %s: %s (%.2fs)", j.id, status, errMsg, now.Sub(j.started).Seconds())
+	} else {
+		s.logf("job %s %s: source=%s (%.2fs)", j.id, status, run.Source, now.Sub(j.started).Seconds())
+	}
+	if status == StatusDone && run.Source == runner.SourceExecuted {
+		s.maybePrune()
+	}
+}
+
+// maybePrune bounds the disk cache after an executed (cache-growing)
+// run. Skipped when a prune is already in progress.
+func (s *Server) maybePrune() {
+	cache := s.eng.DiskCache()
+	if s.cacheMax <= 0 || cache == nil {
+		return
+	}
+	if !s.pruneMu.TryLock() {
+		return
+	}
+	defer s.pruneMu.Unlock()
+	removed, freed, err := cache.Prune(s.cacheMax)
+	if err != nil {
+		s.logf("cache prune: %v", err)
+	} else if removed > 0 {
+		s.logf("cache prune: removed %d entries (%d bytes) to stay under %d", removed, freed, s.cacheMax)
+	}
+}
+
+// Shutdown stops admission, cancels every queued job, and drains
+// running jobs. If ctx expires first, running jobs are cancelled at
+// their next simulation checkpoint and Shutdown returns ctx's error
+// once the workers exit.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	var retired []*Job
+	for p := range s.queue {
+		for _, j := range s.queue[p] {
+			if j.status == StatusQueued {
+				s.finishQueuedLocked(j, "server shutting down")
+				retired = append(retired, j)
+			}
+		}
+		s.queue[p] = nil
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	for _, j := range retired {
+		j.cancel()
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for _, j := range s.order {
+			if j.status == StatusRunning {
+				j.cancel()
+			}
+		}
+		s.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}

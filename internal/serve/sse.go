@@ -1,0 +1,143 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// sseEvent is one server-sent event: a named payload pushed to a
+// subscribed client.
+type sseEvent struct {
+	name string
+	data any
+}
+
+// notifyLocked pushes the job's current view to every subscriber.
+// Server.mu must be held. Sends never block: a subscriber that has
+// fallen behind misses intermediate transitions but always receives
+// the terminal one via its own doneCh wait.
+func (s *Server) notifyLocked(j *Job) {
+	if len(j.subs) == 0 {
+		return
+	}
+	ev := sseEvent{name: "status", data: j.viewLocked()}
+	for ch := range j.subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+}
+
+// subscribe registers an event channel on the job; the returned func
+// removes it.
+func (s *Server) subscribe(j *Job) (chan sseEvent, func()) {
+	ch := make(chan sseEvent, 8)
+	s.mu.Lock()
+	j.subs[ch] = struct{}{}
+	s.mu.Unlock()
+	return ch, func() {
+		s.mu.Lock()
+		delete(j.subs, ch)
+		s.mu.Unlock()
+	}
+}
+
+func writeSSE(w http.ResponseWriter, f http.Flusher, ev sseEvent) error {
+	b, err := json.Marshal(ev.data)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.name, b); err != nil {
+		return err
+	}
+	f.Flush()
+	return nil
+}
+
+// handleEvents streams a job's lifecycle as server-sent events: a
+// "status" event on subscription and at every transition, "progress"
+// events at the configured interval while the job runs, and a final
+// "status" event carrying the terminal view (including the result for
+// completed jobs), after which the stream ends.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	j, ok := s.jobs[r.PathValue("id")]
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	f, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+
+	ch, unsub := s.subscribe(j)
+	defer unsub()
+
+	ticker := time.NewTicker(s.progressEvery)
+	defer ticker.Stop()
+
+	emitView := func() (terminal bool, err error) {
+		s.mu.Lock()
+		view := j.viewLocked()
+		s.mu.Unlock()
+		return view.Status.Terminal(), writeSSE(w, f, sseEvent{name: "status", data: view})
+	}
+	if terminal, err := emitView(); terminal || err != nil {
+		return
+	}
+	for {
+		select {
+		case ev := <-ch:
+			if err := writeSSE(w, f, ev); err != nil {
+				return
+			}
+			if view, ok := ev.data.(jobView); ok && view.Status.Terminal() {
+				return
+			}
+		case <-ticker.C:
+			s.mu.Lock()
+			var pv *progressView
+			if j.status == StatusRunning && j.fut != nil {
+				done, total := j.fut.Progress()
+				pv = &progressView{CyclesDone: done, CyclesTotal: total}
+			}
+			s.mu.Unlock()
+			if pv == nil {
+				continue
+			}
+			if err := writeSSE(w, f, sseEvent{name: "progress", data: pv}); err != nil {
+				return
+			}
+		case <-j.doneCh:
+			// Drain any buffered transition first so event order holds,
+			// then emit the terminal view.
+			for {
+				select {
+				case ev := <-ch:
+					if err := writeSSE(w, f, ev); err != nil {
+						return
+					}
+					if view, ok := ev.data.(jobView); ok && view.Status.Terminal() {
+						return
+					}
+					continue
+				default:
+				}
+				break
+			}
+			_, _ = emitView()
+			return
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

@@ -1,0 +1,299 @@
+// Package simspec defines the JSON wire form of one simulation
+// request — the spec — shared by the delrepsim CLI (-spec/-json) and
+// the delrepd daemon (POST /v1/jobs). A spec names the workload
+// pairing and the configuration knobs the CLIs expose; everything it
+// leaves unset takes the Table I default, so the empty spec plus a
+// workload pairing is the paper's baseline machine.
+//
+// The package also owns the flag-token parsers (scheme, layout,
+// topology, routing, L1 organisation) so the CLI flags and the JSON
+// spec accept exactly the same vocabulary, and the canonical Result
+// rendering, so a result served by the daemon is byte-comparable with
+// one printed by delrepsim -json.
+package simspec
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"delrep/internal/config"
+	"delrep/internal/core"
+	"delrep/internal/workload"
+)
+
+// Spec is the JSON form of one simulation request. Zero-valued fields
+// default to the delrepsim flag defaults (the Table I baseline).
+type Spec struct {
+	GPU          string `json:"gpu"`
+	CPU          string `json:"cpu"`
+	Scheme       string `json:"scheme,omitempty"`  // baseline | delegated | rp
+	Layout       string `json:"layout,omitempty"`  // Baseline | B | C | D
+	Topo         string `json:"topo,omitempty"`    // mesh | fbfly | dragonfly | crossbar
+	Routing      string `json:"routing,omitempty"` // cdr | dyxy | footprint | hare
+	L1Org        string `json:"l1org,omitempty"`   // private | dcl1 | dyneb
+	ChannelBytes int    `json:"channel,omitempty"` // NoC channel width in bytes
+	VCDepth      int    `json:"vcdepth,omitempty"` // VC buffer depth override in flits
+	Warmup       int64  `json:"warm,omitempty"`    // warmup cycles
+	Cycles       int64  `json:"cycles,omitempty"`  // measured cycles
+	Seed         int64  `json:"seed,omitempty"`    // random seed (0 means the default, 1)
+}
+
+// Resolve validates the spec and renders it onto a complete
+// configuration. It returns the configuration, the canonicalized spec
+// (every default made explicit, every token in canonical spelling) and
+// the first validation error. Two specs with equal canonical forms
+// resolve to identical configurations, so the canonical spec is a
+// stable identity for display and comparison.
+func (s Spec) Resolve() (config.Config, Spec, error) {
+	var zero config.Config
+	norm := s
+	if norm.GPU == "" {
+		return zero, s, fmt.Errorf("spec: missing gpu benchmark")
+	}
+	if norm.CPU == "" {
+		return zero, s, fmt.Errorf("spec: missing cpu benchmark")
+	}
+	if !knownGPU(norm.GPU) {
+		return zero, s, fmt.Errorf("spec: unknown gpu benchmark %q (see delrepsim -list)", norm.GPU)
+	}
+	if !knownCPU(norm.CPU) {
+		return zero, s, fmt.Errorf("spec: unknown cpu benchmark %q (see delrepsim -list)", norm.CPU)
+	}
+
+	cfg := config.Default()
+	def := cfg
+
+	scheme, err := ParseScheme(orDefault(norm.Scheme, "baseline"))
+	if err != nil {
+		return zero, s, fmt.Errorf("spec: %v", err)
+	}
+	cfg.Scheme = scheme
+	norm.Scheme = canonScheme(scheme)
+
+	layout, err := ParseLayout(orDefault(norm.Layout, "Baseline"))
+	if err != nil {
+		return zero, s, fmt.Errorf("spec: %v", err)
+	}
+	cfg.Layout = layout
+	cfg.NoC.ReqOrder = layout.ReqOrder
+	cfg.NoC.RepOrder = layout.RepOrder
+	norm.Layout = layout.Name
+
+	topo, err := ParseTopo(orDefault(norm.Topo, "mesh"))
+	if err != nil {
+		return zero, s, fmt.Errorf("spec: %v", err)
+	}
+	cfg.NoC.Topology = topo
+	norm.Topo = canonTopo(topo)
+
+	routing, err := ParseRouting(orDefault(norm.Routing, "cdr"))
+	if err != nil {
+		return zero, s, fmt.Errorf("spec: %v", err)
+	}
+	cfg.NoC.Routing = routing
+	norm.Routing = canonRouting(routing)
+
+	org, err := ParseOrg(orDefault(norm.L1Org, "private"))
+	if err != nil {
+		return zero, s, fmt.Errorf("spec: %v", err)
+	}
+	cfg.GPU.Org = org
+	norm.L1Org = canonOrg(org)
+
+	if norm.ChannelBytes == 0 {
+		norm.ChannelBytes = def.NoC.ChannelBytes
+	}
+	cfg.NoC.ChannelBytes = norm.ChannelBytes
+	if norm.VCDepth > 0 {
+		cfg.NoC.FlitsPerVC = norm.VCDepth
+	}
+	if norm.Warmup == 0 {
+		norm.Warmup = def.WarmupCycles
+	}
+	cfg.WarmupCycles = norm.Warmup
+	if norm.Cycles == 0 {
+		norm.Cycles = def.MeasureCycles
+	}
+	cfg.MeasureCycles = norm.Cycles
+	if norm.Seed == 0 {
+		norm.Seed = def.Seed
+	}
+	cfg.Seed = norm.Seed
+
+	if err := cfg.Validate(); err != nil {
+		return zero, s, fmt.Errorf("spec: %v", err)
+	}
+	return cfg, norm, nil
+}
+
+// Read decodes one spec from JSON, rejecting unknown fields (a typoed
+// knob silently falling back to its default would be a miserable way
+// to lose a sweep).
+func Read(r io.Reader) (Spec, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("spec: %v", err)
+	}
+	return s, nil
+}
+
+// Result is the canonical rendering of one completed simulation: the
+// canonical spec it ran, the full results, and the determinism-audit
+// digest of the end state as 16 hex digits (a JSON number could not
+// hold a uint64 exactly). delrepsim -json prints exactly this object;
+// the daemon embeds it as the "result" field of a job, so the two can
+// be compared field-for-field.
+type Result struct {
+	Spec    Spec         `json:"spec"`
+	Results core.Results `json:"results"`
+	Digest  string       `json:"digest"`
+}
+
+// NewResult builds a Result from a canonical spec and a finished run.
+func NewResult(spec Spec, res core.Results, digest uint64) Result {
+	return Result{Spec: spec, Results: res, Digest: fmt.Sprintf("%016x", digest)}
+}
+
+func orDefault(v, def string) string {
+	if v == "" {
+		return def
+	}
+	return v
+}
+
+func knownGPU(name string) bool {
+	for _, p := range workload.GPUProfiles() {
+		if p.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+func knownCPU(name string) bool {
+	for _, p := range workload.CPUProfiles() {
+		if p.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// ParseScheme parses a scheme token (baseline | delegated | rp).
+func ParseScheme(s string) (config.Scheme, error) {
+	switch strings.ToLower(s) {
+	case "baseline":
+		return config.SchemeBaseline, nil
+	case "delegated", "dr", "delegatedreplies":
+		return config.SchemeDelegatedReplies, nil
+	case "rp":
+		return config.SchemeRP, nil
+	}
+	return 0, fmt.Errorf("unknown scheme %q", s)
+}
+
+func canonScheme(s config.Scheme) string {
+	switch s {
+	case config.SchemeDelegatedReplies:
+		return "delegated"
+	case config.SchemeRP:
+		return "rp"
+	}
+	return "baseline"
+}
+
+// ParseLayout parses a chip-layout token (Baseline | B | C | D).
+func ParseLayout(s string) (config.Layout, error) {
+	switch strings.ToLower(s) {
+	case "baseline", "a":
+		return config.BaselineLayout(), nil
+	case "b":
+		return config.LayoutB(), nil
+	case "c":
+		return config.LayoutC(), nil
+	case "d":
+		return config.LayoutD(), nil
+	}
+	return config.Layout{}, fmt.Errorf("unknown layout %q", s)
+}
+
+// ParseTopo parses a topology token (mesh | fbfly | dragonfly | crossbar).
+func ParseTopo(s string) (config.Topology, error) {
+	switch strings.ToLower(s) {
+	case "mesh":
+		return config.TopoMesh, nil
+	case "fbfly":
+		return config.TopoFlattenedButterfly, nil
+	case "dragonfly":
+		return config.TopoDragonfly, nil
+	case "crossbar":
+		return config.TopoCrossbar, nil
+	}
+	return 0, fmt.Errorf("unknown topology %q", s)
+}
+
+func canonTopo(t config.Topology) string {
+	switch t {
+	case config.TopoFlattenedButterfly:
+		return "fbfly"
+	case config.TopoDragonfly:
+		return "dragonfly"
+	case config.TopoCrossbar:
+		return "crossbar"
+	}
+	return "mesh"
+}
+
+// ParseRouting parses a routing token (cdr | dyxy | footprint | hare).
+func ParseRouting(s string) (config.RoutingAlg, error) {
+	switch strings.ToLower(s) {
+	case "cdr":
+		return config.RoutingCDR, nil
+	case "dyxy":
+		return config.RoutingDyXY, nil
+	case "footprint":
+		return config.RoutingFootprint, nil
+	case "hare":
+		return config.RoutingHARE, nil
+	}
+	return 0, fmt.Errorf("unknown routing %q", s)
+}
+
+func canonRouting(r config.RoutingAlg) string {
+	switch r {
+	case config.RoutingDyXY:
+		return "dyxy"
+	case config.RoutingFootprint:
+		return "footprint"
+	case config.RoutingHARE:
+		return "hare"
+	}
+	return "cdr"
+}
+
+// ParseOrg parses an L1-organisation token (private | dcl1 | dyneb).
+func ParseOrg(s string) (config.L1Org, error) {
+	switch strings.ToLower(s) {
+	case "private":
+		return config.L1Private, nil
+	case "dcl1", "dc-l1":
+		return config.L1DCL1, nil
+	case "dyneb":
+		return config.L1DynEB, nil
+	}
+	return 0, fmt.Errorf("unknown L1 organisation %q", s)
+}
+
+func canonOrg(o config.L1Org) string {
+	switch o {
+	case config.L1DCL1:
+		return "dcl1"
+	case config.L1DynEB:
+		return "dyneb"
+	}
+	return "private"
+}

@@ -1,0 +1,110 @@
+package simspec
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"delrep/internal/config"
+	"delrep/internal/core"
+)
+
+// The empty spec plus a workload pairing resolves to the Table I
+// baseline, with every default made explicit in the canonical form.
+func TestResolveDefaults(t *testing.T) {
+	cfg, norm, err := Spec{GPU: "HS", CPU: "vips"}.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	def := config.Default()
+	if !reflect.DeepEqual(cfg, def) {
+		t.Fatalf("resolved config differs from config.Default():\n got %+v\nwant %+v", cfg, def)
+	}
+	want := Spec{
+		GPU: "HS", CPU: "vips",
+		Scheme: "baseline", Layout: "Baseline", Topo: "mesh", Routing: "cdr",
+		L1Org: "private", ChannelBytes: 16,
+		Warmup: def.WarmupCycles, Cycles: def.MeasureCycles, Seed: def.Seed,
+	}
+	if norm != want {
+		t.Fatalf("canonical spec = %+v, want %+v", norm, want)
+	}
+}
+
+// Alias tokens canonicalize; resolving a canonical spec is idempotent.
+func TestResolveCanonicalizes(t *testing.T) {
+	in := Spec{GPU: "BP", CPU: "dedup", Scheme: "DelegatedReplies", Layout: "b",
+		Topo: "FBFLY", Routing: "HARE", L1Org: "DC-L1",
+		Warmup: 1000, Cycles: 4000, Seed: 7}
+	cfg, norm, err := in.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if norm.Scheme != "delegated" || norm.Layout != "B" || norm.Topo != "fbfly" ||
+		norm.Routing != "hare" || norm.L1Org != "dcl1" {
+		t.Fatalf("canonical tokens = %+v", norm)
+	}
+	if cfg.Scheme != config.SchemeDelegatedReplies || cfg.NoC.Topology != config.TopoFlattenedButterfly {
+		t.Fatalf("config not applied: %+v", cfg)
+	}
+	if cfg.NoC.ReqOrder != cfg.Layout.ReqOrder || cfg.NoC.RepOrder != cfg.Layout.RepOrder {
+		t.Fatal("layout dimension orders not propagated to the NoC")
+	}
+	cfg2, norm2, err := norm.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cfg2, cfg) || norm2 != norm {
+		t.Fatal("resolving the canonical spec is not idempotent")
+	}
+}
+
+func TestResolveErrors(t *testing.T) {
+	cases := []Spec{
+		{},                          // no benchmarks
+		{GPU: "HS"},                 // no CPU
+		{GPU: "nope", CPU: "vips"},  // unknown GPU
+		{GPU: "HS", CPU: "nope"},    // unknown CPU
+		{GPU: "HS", CPU: "vips", Scheme: "turbo"},
+		{GPU: "HS", CPU: "vips", Layout: "Z"},
+		{GPU: "HS", CPU: "vips", Topo: "torus"},
+		{GPU: "HS", CPU: "vips", Routing: "oddeven"},
+		{GPU: "HS", CPU: "vips", L1Org: "shared"},
+		{GPU: "HS", CPU: "vips", Cycles: -5}, // Validate rejects
+	}
+	for _, c := range cases {
+		if _, _, err := c.Resolve(); err == nil {
+			t.Errorf("Resolve(%+v) succeeded, want error", c)
+		}
+	}
+}
+
+func TestReadRejectsUnknownFields(t *testing.T) {
+	if _, err := Read(strings.NewReader(`{"gpu":"HS","cpu":"vips","cyclez":5}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	s, err := Read(strings.NewReader(`{"gpu":"HS","cpu":"vips","warm":500,"cycles":1500}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Warmup != 500 || s.Cycles != 1500 {
+		t.Fatalf("decoded spec = %+v", s)
+	}
+}
+
+// The digest renders as fixed-width hex: a uint64 would overflow a
+// JSON number's exact integer range.
+func TestResultDigestHex(t *testing.T) {
+	r := NewResult(Spec{GPU: "HS", CPU: "vips"}, core.Results{}, 0xdeadbeefcafef00d)
+	if r.Digest != "deadbeefcafef00d" {
+		t.Fatalf("digest = %q", r.Digest)
+	}
+	b, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"digest":"deadbeefcafef00d"`) {
+		t.Fatalf("marshalled result: %s", b)
+	}
+}

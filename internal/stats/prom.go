@@ -1,0 +1,35 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteProm writes the histogram in the Prometheus text exposition
+// format under the given metric name: a `# TYPE` line, one cumulative
+// `_bucket` sample per upper edge plus the `+Inf` bucket (which folds
+// in the overflow count), then `_sum` and `_count`. The histogram's
+// fixed-width buckets map directly onto `le` upper bounds, so a
+// scraper reconstructs quantiles exactly as Percentile would.
+func (h *Histogram) WriteProm(w io.Writer, name string) error {
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+		return err
+	}
+	var cum int64
+	for i, b := range h.buckets {
+		cum += b
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n",
+			name, float64(i+1)*h.width, cum); err != nil {
+			return err
+		}
+	}
+	cum += h.overflow
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum %g\n", name, h.sampler.Sum()); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count %d\n", name, cum)
+	return err
+}

@@ -1,0 +1,39 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHistogramWriteProm(t *testing.T) {
+	h := NewHistogram(3, 0.5)
+	for _, v := range []float64{0.1, 0.2, 0.6, 1.4, 9} { // 9 overflows
+		h.Add(v)
+	}
+	var b strings.Builder
+	if err := h.WriteProm(&b, "job_seconds"); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE job_seconds histogram
+job_seconds_bucket{le="0.5"} 2
+job_seconds_bucket{le="1"} 3
+job_seconds_bucket{le="1.5"} 4
+job_seconds_bucket{le="+Inf"} 5
+job_seconds_sum 11.3
+job_seconds_count 5
+`
+	if b.String() != want {
+		t.Fatalf("WriteProm output:\n%s\nwant:\n%s", b.String(), want)
+	}
+}
+
+func TestHistogramWritePromEmpty(t *testing.T) {
+	var b strings.Builder
+	if err := NewHistogram(2, 10).WriteProm(&b, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `x_bucket{le="+Inf"} 0`) ||
+		!strings.Contains(b.String(), "x_count 0") {
+		t.Fatalf("empty histogram exposition:\n%s", b.String())
+	}
+}
