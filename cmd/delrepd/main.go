@@ -88,7 +88,7 @@ func main() {
 	if err := srv.Shutdown(ctx); err != nil {
 		logger.Printf("drain deadline passed: running jobs cancelled (%v)", err)
 	}
-	if err := hs.Shutdown(context.Background()); err != nil && !errors.Is(err, http.ErrServerClosed) {
+	if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		logger.Printf("http shutdown: %v", err)
 	}
 	logger.Printf("stopped")

@@ -1,0 +1,159 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"delrep/internal/lint/analysis"
+)
+
+// withFinding is a package with exactly one ctxflow finding: a
+// context parameter in scope while Background is used.
+const withFinding = `package p
+
+import "context"
+
+type key struct{}
+
+func Attach(ctx context.Context) context.Context {
+	return context.WithValue(context.Background(), key{}, 1)
+}
+`
+
+const secondFinding = `package p
+
+import "context"
+
+func Detach(ctx context.Context) context.Context {
+	return context.WithValue(context.Background(), key{}, 2)
+}
+`
+
+const clean = `package p
+
+import "context"
+
+type key struct{}
+
+func Attach(ctx context.Context) context.Context {
+	return context.WithValue(ctx, key{}, 1)
+}
+`
+
+// setupModule creates a throwaway module with one package and chdirs
+// into it; run() resolves its loader from the working directory.
+func setupModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	must(t, os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module tmplint\n\ngo 1.22\n"), 0o644))
+	must(t, os.MkdirAll(filepath.Join(dir, "p"), 0o755))
+	must(t, os.WriteFile(filepath.Join(dir, "p", "p.go"), []byte(withFinding), 0o644))
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	must(t, os.Chdir(dir))
+	t.Cleanup(func() { _ = os.Chdir(wd) })
+	return dir
+}
+
+func must(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRatchetCycle drives the full baseline workflow: a dirty tree
+// fails plain lint, freezing it passes, a deliberate regression fails
+// against the frozen baseline, -update-baseline refuses to grow, and
+// fixing ratchets the count down.
+func TestRatchetCycle(t *testing.T) {
+	dir := setupModule(t)
+	basePath := filepath.Join(dir, "lint.baseline")
+
+	// 1. Plain lint: the finding fails the run.
+	if got := run(options{patterns: []string{"./..."}}); got != 1 {
+		t.Fatalf("plain lint on dirty tree: status %d, want 1", got)
+	}
+
+	// 2. Adopt the ratchet: freeze the finding.
+	if got := run(options{patterns: []string{"./..."}, baselinePath: basePath, updateBase: true}); got != 0 {
+		t.Fatalf("creating baseline: status %d, want 0", got)
+	}
+	frozen, err := os.ReadFile(basePath)
+	if err != nil {
+		t.Fatalf("baseline not written: %v", err)
+	}
+	if !strings.Contains(string(frozen), "ctxflow") {
+		t.Fatalf("baseline lacks the frozen finding:\n%s", frozen)
+	}
+
+	// 3. Baselined tree passes.
+	if got := run(options{patterns: []string{"./..."}, baselinePath: basePath}); got != 0 {
+		t.Fatalf("baselined tree: status %d, want 0", got)
+	}
+
+	// 4. A deliberate regression fails against the baseline. The
+	//    loader memoizes `go list` per process, so adding a file needs
+	//    an explicit flush (a real simlint run is one process, one
+	//    tree snapshot).
+	must(t, os.WriteFile(filepath.Join(dir, "p", "q.go"), []byte(secondFinding), 0o644))
+	analysis.FlushListCache()
+	if got := run(options{patterns: []string{"./..."}, baselinePath: basePath}); got != 1 {
+		t.Fatalf("regressed tree: status %d, want 1", got)
+	}
+
+	// 5. -update-baseline refuses to grow the count.
+	if got := run(options{patterns: []string{"./..."}, baselinePath: basePath, updateBase: true}); got != 1 {
+		t.Fatalf("growing update: status %d, want 1", got)
+	}
+	after, err := os.ReadFile(basePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(after) != string(frozen) {
+		t.Fatalf("refused update still rewrote the baseline:\n%s", after)
+	}
+
+	// 6. Fix both findings; the stale baseline still passes (warn-only)
+	//    and the update ratchets the count to zero.
+	must(t, os.Remove(filepath.Join(dir, "p", "q.go")))
+	must(t, os.WriteFile(filepath.Join(dir, "p", "p.go"), []byte(clean), 0o644))
+	analysis.FlushListCache()
+	if got := run(options{patterns: []string{"./..."}, baselinePath: basePath}); got != 0 {
+		t.Fatalf("fixed tree against stale baseline: status %d, want 0", got)
+	}
+	if got := run(options{patterns: []string{"./..."}, baselinePath: basePath, updateBase: true}); got != 0 {
+		t.Fatalf("shrinking update: status %d, want 0", got)
+	}
+	shrunk, err := os.ReadFile(basePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(shrunk), "ctxflow") {
+		t.Fatalf("baseline did not shrink:\n%s", shrunk)
+	}
+}
+
+// TestFixRewrites drives `simlint -fix` end to end: the ctxflow fix
+// substitutes the in-scope context and the rewritten tree lints clean.
+func TestFixRewrites(t *testing.T) {
+	dir := setupModule(t)
+
+	if got := run(options{patterns: []string{"./..."}, fix: true}); got != 0 {
+		t.Fatalf("-fix: status %d, want 0", got)
+	}
+	rewritten, err := os.ReadFile(filepath.Join(dir, "p", "p.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(rewritten), "context.WithValue(ctx, key{}, 1)") {
+		t.Fatalf("fix not applied:\n%s", rewritten)
+	}
+	if got := run(options{patterns: []string{"./..."}}); got != 0 {
+		t.Fatalf("lint after -fix: status %d, want 0", got)
+	}
+}

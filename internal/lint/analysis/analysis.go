@@ -32,11 +32,30 @@ type Analyzer struct {
 	Run func(*Pass) error
 }
 
+// TextEdit is one replacement of the source range [Pos, End) by
+// NewText. Pos == End inserts without deleting.
+type TextEdit struct {
+	Pos     token.Pos
+	End     token.Pos
+	NewText []byte
+}
+
+// SuggestedFix is one self-contained change that resolves a
+// diagnostic. All edits of one fix are applied together or not at all.
+type SuggestedFix struct {
+	Message   string
+	TextEdits []TextEdit
+}
+
 // Diagnostic is one finding at a source position.
 type Diagnostic struct {
 	Pos      token.Pos
 	Message  string
 	Analyzer string
+	// SuggestedFixes, when non-empty, carry machine-applicable repairs
+	// (applied by `simlint -fix` and verified by analysistest's .fixed
+	// goldens).
+	SuggestedFixes []SuggestedFix
 }
 
 // Pass carries one analyzer's view of one type-checked package.
@@ -54,15 +73,19 @@ type Pass struct {
 
 // Reportf records a finding unless a //simlint:ignore comment covers it.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
-	position := p.Fset.Position(pos)
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Report records a fully-formed diagnostic (position, message, and any
+// suggested fixes) unless a //simlint:ignore comment covers it. The
+// Analyzer field is filled in by the pass.
+func (p *Pass) Report(d Diagnostic) {
+	position := p.Fset.Position(d.Pos)
 	if p.suppress.covers(position, p.Analyzer.Name) {
 		return
 	}
-	p.diags = append(p.diags, Diagnostic{
-		Pos:      pos,
-		Message:  fmt.Sprintf(format, args...),
-		Analyzer: p.Analyzer.Name,
-	})
+	d.Analyzer = p.Analyzer.Name
+	p.diags = append(p.diags, d)
 }
 
 // suppressIndex maps file -> line -> analyzer names suppressed there.

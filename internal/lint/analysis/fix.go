@@ -1,0 +1,160 @@
+package analysis
+
+import (
+	"bytes"
+	"fmt"
+	"go/token"
+	"os"
+	"sort"
+)
+
+// Conflict records a suggested fix that was skipped because one of its
+// edits overlaps an edit from an earlier-applied fix.
+type Conflict struct {
+	Pos      token.Position // diagnostic position of the skipped fix
+	Analyzer string
+	Message  string // the skipped fix's message
+}
+
+// fileEdit is one edit resolved to byte offsets within a file.
+type fileEdit struct {
+	start, end int
+	newText    []byte
+}
+
+// ApplyFixes applies every suggested fix attached to the diagnostics
+// and returns the rewritten contents of each changed file, keyed by
+// filename. Fixes are applied in diagnostic order; a fix whose edits
+// overlap an already-accepted edit is skipped whole (all of its edits)
+// and reported as a Conflict, so a second `simlint -fix` run can pick
+// it up once the first round of rewrites has settled. The read
+// function supplies file contents (os.ReadFile in the command,
+// in-memory sources in tests).
+func ApplyFixes(fset *token.FileSet, diags []Diagnostic, read func(filename string) ([]byte, error)) (map[string][]byte, []Conflict, error) {
+	if read == nil {
+		read = os.ReadFile
+	}
+	accepted := map[string][]fileEdit{}
+	var conflicts []Conflict
+
+	for _, d := range diags {
+		for _, fix := range d.SuggestedFixes {
+			edits, err := resolveFix(fset, fix)
+			if err != nil {
+				return nil, nil, fmt.Errorf("%s: fix %q: %v", d.Analyzer, fix.Message, err)
+			}
+			if clashes(accepted, edits) {
+				conflicts = append(conflicts, Conflict{
+					Pos:      fset.Position(d.Pos),
+					Analyzer: d.Analyzer,
+					Message:  fix.Message,
+				})
+				continue
+			}
+			for file, es := range edits {
+				accepted[file] = append(accepted[file], es...)
+			}
+		}
+	}
+
+	out := map[string][]byte{}
+	for file, edits := range accepted {
+		src, err := read(file)
+		if err != nil {
+			return nil, nil, err
+		}
+		out[file] = applyEdits(src, edits)
+	}
+	return out, conflicts, nil
+}
+
+// resolveFix converts one fix's token.Pos edits into per-file byte
+// offsets, validating that each edit stays inside its file.
+func resolveFix(fset *token.FileSet, fix SuggestedFix) (map[string][]fileEdit, error) {
+	out := map[string][]fileEdit{}
+	for _, e := range fix.TextEdits {
+		start := fset.Position(e.Pos)
+		endPos := e.End
+		if endPos == token.NoPos {
+			endPos = e.Pos
+		}
+		end := fset.Position(endPos)
+		if start.Filename == "" || start.Filename != end.Filename {
+			return nil, fmt.Errorf("edit spans files (%s .. %s)", start, end)
+		}
+		if end.Offset < start.Offset {
+			return nil, fmt.Errorf("edit end %s precedes start %s", end, start)
+		}
+		out[start.Filename] = append(out[start.Filename], fileEdit{
+			start:   start.Offset,
+			end:     end.Offset,
+			newText: e.newText(),
+		})
+	}
+	return out, nil
+}
+
+func (e TextEdit) newText() []byte {
+	return bytes.Clone(e.NewText)
+}
+
+// clashes reports whether any candidate edit overlaps an accepted one.
+// Two insertions at the same point clash (their order would be
+// ambiguous); an insertion inside a replaced range clashes too.
+func clashes(accepted map[string][]fileEdit, candidate map[string][]fileEdit) bool {
+	for file, edits := range candidate {
+		for _, e := range edits {
+			for _, a := range accepted[file] {
+				if sameEdit(a, e) {
+					continue // identical repair; applyEdits collapses it
+				}
+				if overlap(a, e) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+func sameEdit(a, b fileEdit) bool {
+	return a.start == b.start && a.end == b.end && bytes.Equal(a.newText, b.newText)
+}
+
+func overlap(a, b fileEdit) bool {
+	if a.start == b.start {
+		return true
+	}
+	// Treat [start, end) ranges; pure insertions have start == end and
+	// conflict only when they land inside (or at the start of) the
+	// other edit's replaced span.
+	if a.start < b.start {
+		return a.end > b.start
+	}
+	return b.end > a.start
+}
+
+// applyEdits rewrites src by the edits, applied back-to-front so
+// earlier offsets stay valid. Identical duplicate edits (two analyzers
+// suggesting the same repair) collapse to one.
+func applyEdits(src []byte, edits []fileEdit) []byte {
+	sort.SliceStable(edits, func(i, j int) bool {
+		if edits[i].start != edits[j].start {
+			return edits[i].start > edits[j].start
+		}
+		return edits[i].end > edits[j].end
+	})
+	var out []byte = bytes.Clone(src)
+	var prev *fileEdit
+	for i := range edits {
+		e := edits[i]
+		if prev != nil && e.start == prev.start && e.end == prev.end && bytes.Equal(e.newText, prev.newText) {
+			continue // exact duplicate
+		}
+		tail := bytes.Clone(out[e.end:])
+		out = append(out[:e.start], e.newText...)
+		out = append(out, tail...)
+		prev = &edits[i]
+	}
+	return out
+}

@@ -1,0 +1,62 @@
+// Package am exercises the atomicmix analyzer: fields accessed both
+// through sync/atomic and plainly.
+package am
+
+import "sync/atomic"
+
+// Counter mixes disciplines across methods.
+type Counter struct {
+	n     int64
+	hits  int64
+	flags uint32
+	plain int64
+}
+
+// bump is the atomic side of the mix.
+func (c *Counter) bump() {
+	atomic.AddInt64(&c.n, 1)
+	atomic.AddInt64(&c.hits, 1)
+	atomic.StoreUint32(&c.flags, 1)
+}
+
+// read: a plain read of an atomically-updated field.
+func (c *Counter) read() int64 {
+	return c.n // want `c\.n accessed without atomics`
+}
+
+// write: a plain store.
+func (c *Counter) write(v int64) {
+	c.n = v // want `c\.n accessed without atomics`
+}
+
+// incr: increments in three spellings, all racy.
+func (c *Counter) incr() {
+	c.hits++            // want `c\.hits accessed without atomics`
+	c.hits += 2         // want `c\.hits accessed without atomics`
+	c.hits = c.hits + 3 // want `c\.hits accessed without atomics`
+}
+
+// escape: the address leaks; flagged, but no mechanical rewrite.
+func (c *Counter) escape() *uint32 {
+	return &c.flags // want `c\.flags accessed without atomics`
+}
+
+// plainOnly: a field never touched atomically is not part of a mix.
+func (c *Counter) plainOnly() int64 {
+	c.plain++
+	return c.plain
+}
+
+// Typed uses typed atomics, the fixed form — not a mix.
+type Typed struct{ v atomic.Int64 }
+
+func (t *Typed) ok() int64 {
+	t.v.Add(1)
+	return t.v.Load()
+}
+
+// suppressed: acknowledged pre-concurrency initialization.
+func (c *Counter) suppressed() {
+	//simlint:ignore atomicmix fixture exception: constructor runs before any goroutine starts
+	c.n = 0
+}

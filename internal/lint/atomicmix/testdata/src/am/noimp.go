@@ -1,0 +1,11 @@
+// noimp reads an atomic-discipline field from a file that does not
+// import sync/atomic: the suggested fix must insert the import.
+package am
+
+import (
+	"fmt"
+)
+
+func describe(c *Counter) string {
+	return fmt.Sprint(c.n) // want `c\.n accessed without atomics`
+}

@@ -1,0 +1,177 @@
+// Package baseline implements simlint's ratchet. A baseline file
+// freezes the findings that existed when the ratchet was adopted, so
+// CI fails only on regressions: a finding not in the baseline, or more
+// findings of a baselined kind than were frozen. The finding count can
+// only go down — `simlint -update-baseline` refuses to write a
+// baseline with more total findings than the one it replaces.
+//
+// Entries are keyed by (analyzer, module-relative file, message) —
+// deliberately without line numbers, so unrelated edits that shift a
+// frozen finding down the file do not break CI. Several identical
+// findings in one file collapse into a single entry with a count.
+//
+// The file format is line-oriented and diff-friendly:
+//
+//	# comment
+//	<count>\t<analyzer>\t<file>\t<message>
+//
+// sorted by file, analyzer, message.
+package baseline
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Key identifies a finding class, line-number-free.
+type Key struct {
+	Analyzer string
+	File     string // module-relative, slash-separated
+	Message  string
+}
+
+// Finding is one concrete diagnostic to compare against the baseline.
+type Finding struct {
+	Key
+	Pos string // rendered position, for reporting only
+}
+
+// Baseline is a parsed baseline file: finding class → frozen count.
+type Baseline struct {
+	entries map[Key]int
+}
+
+// New builds a baseline freezing the given findings.
+func New(findings []Finding) *Baseline {
+	b := &Baseline{entries: map[Key]int{}}
+	for _, f := range findings {
+		b.entries[f.Key]++
+	}
+	return b
+}
+
+// Load reads a baseline file. A missing file is not an error: it
+// yields an empty baseline (every finding is then a regression), so a
+// repo can adopt the ratchet by committing an empty file.
+func Load(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return New(nil), nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	return Parse(data)
+}
+
+// Parse decodes the baseline format.
+func Parse(data []byte) (*Baseline, error) {
+	b := New(nil)
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.SplitN(line, "\t", 4)
+		if len(parts) != 4 {
+			return nil, fmt.Errorf("baseline line %d: want 4 tab-separated fields, got %d", lineNo, len(parts))
+		}
+		n, err := strconv.Atoi(parts[0])
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("baseline line %d: bad count %q", lineNo, parts[0])
+		}
+		key := Key{Analyzer: parts[1], File: parts[2], Message: parts[3]}
+		b.entries[key] += n
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// Format renders the baseline deterministically.
+func (b *Baseline) Format() []byte {
+	keys := make([]Key, 0, len(b.entries))
+	for k := range b.entries {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, c := keys[i], keys[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Analyzer != c.Analyzer {
+			return a.Analyzer < c.Analyzer
+		}
+		return a.Message < c.Message
+	})
+	var buf bytes.Buffer
+	buf.WriteString("# simlint baseline: frozen findings, keyed analyzer/file/message.\n")
+	buf.WriteString("# Regenerate with `simlint -update-baseline`; the count only goes down.\n")
+	for _, k := range keys {
+		fmt.Fprintf(&buf, "%d\t%s\t%s\t%s\n", b.entries[k], k.Analyzer, k.File, k.Message)
+	}
+	return buf.Bytes()
+}
+
+// Total is the number of frozen findings (counts summed).
+func (b *Baseline) Total() int {
+	n := 0
+	for _, c := range b.entries {
+		n += c
+	}
+	return n
+}
+
+// Filter splits current findings into regressions (not covered by the
+// baseline) and reports baseline entries that no longer occur (stale —
+// the file should be regenerated to ratchet the count down). When more
+// findings of one class exist than were frozen, the excess are
+// regressions; which concrete sites count as "excess" is taken in
+// position order for determinism.
+func (b *Baseline) Filter(findings []Finding) (regressions []Finding, stale []Key) {
+	byKey := map[Key][]Finding{}
+	for _, f := range findings {
+		byKey[f.Key] = append(byKey[f.Key], f)
+	}
+	for key, fs := range byKey {
+		sort.Slice(fs, func(i, j int) bool { return fs[i].Pos < fs[j].Pos })
+		allowed := b.entries[key]
+		if len(fs) > allowed {
+			regressions = append(regressions, fs[allowed:]...)
+		}
+	}
+	for key, frozen := range b.entries {
+		if len(byKey[key]) < frozen {
+			stale = append(stale, key)
+		}
+	}
+	sort.Slice(regressions, func(i, j int) bool { return regressions[i].Pos < regressions[j].Pos })
+	sort.Slice(stale, func(i, j int) bool {
+		a, c := stale[i], stale[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		return a.Message < c.Message
+	})
+	return regressions, stale
+}
+
+// CheckRatchet enforces the one-way direction: replacing old with next
+// must not increase the total finding count.
+func CheckRatchet(old, next *Baseline) error {
+	if next.Total() > old.Total() {
+		return fmt.Errorf("baseline would grow from %d to %d findings: fix or //simlint:ignore the new findings instead of freezing them",
+			old.Total(), next.Total())
+	}
+	return nil
+}

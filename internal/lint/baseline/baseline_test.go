@@ -1,0 +1,148 @@
+package baseline
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func find(analyzer, file, msg, pos string) Finding {
+	return Finding{Key: Key{Analyzer: analyzer, File: file, Message: msg}, Pos: pos}
+}
+
+// TestRoundTrip: Format → Parse preserves entries and counts.
+func TestRoundTrip(t *testing.T) {
+	b := New([]Finding{
+		find("detflow", "internal/core/gpu.go", "time reaches digest", "a.go:3:1"),
+		find("detflow", "internal/core/gpu.go", "time reaches digest", "a.go:9:1"),
+		find("lockorder", "internal/serve/serve.go", "send under mu", "b.go:4:2"),
+	})
+	text := b.Format()
+	got, err := Parse(text)
+	if err != nil {
+		t.Fatalf("Parse(Format()): %v", err)
+	}
+	if got.Total() != 3 {
+		t.Fatalf("round-trip total = %d, want 3", got.Total())
+	}
+	if !bytes.Equal(got.Format(), text) {
+		t.Fatalf("round-trip not stable:\n%s\nvs\n%s", got.Format(), text)
+	}
+}
+
+// TestFormatDeterministic: entry order does not depend on insertion
+// order (the file must be diffable across runs).
+func TestFormatDeterministic(t *testing.T) {
+	fs := []Finding{
+		find("b", "z.go", "m2", "z.go:1:1"),
+		find("a", "a.go", "m1", "a.go:1:1"),
+		find("a", "a.go", "m0", "a.go:2:1"),
+	}
+	first := New(fs).Format()
+	rev := []Finding{fs[2], fs[1], fs[0]}
+	if !bytes.Equal(New(rev).Format(), first) {
+		t.Fatal("Format depends on insertion order")
+	}
+}
+
+// TestFilter: the ratchet passes a fully-baselined tree, fails a new
+// finding, fails the excess copy of a known finding, and reports
+// stale entries once findings are fixed.
+func TestFilter(t *testing.T) {
+	base := New([]Finding{
+		find("detflow", "a.go", "old finding", "a.go:3:1"),
+		find("detflow", "a.go", "twice", "a.go:5:1"),
+		find("detflow", "a.go", "twice", "a.go:8:1"),
+	})
+
+	// Identical tree: no regressions, nothing stale.
+	current := []Finding{
+		find("detflow", "a.go", "old finding", "a.go:3:1"),
+		find("detflow", "a.go", "twice", "a.go:5:1"),
+		find("detflow", "a.go", "twice", "a.go:8:1"),
+	}
+	reg, stale := base.Filter(current)
+	if len(reg) != 0 || len(stale) != 0 {
+		t.Fatalf("baselined tree: reg=%v stale=%v, want none", reg, stale)
+	}
+
+	// A brand-new finding is a regression even though others are frozen.
+	reg, _ = base.Filter(append(current, find("lockorder", "b.go", "fresh", "b.go:2:2")))
+	if len(reg) != 1 || reg[0].Message != "fresh" {
+		t.Fatalf("new finding: reg=%v, want the fresh one", reg)
+	}
+
+	// A third copy of a twice-frozen finding regresses by exactly one.
+	reg, _ = base.Filter(append(current, find("detflow", "a.go", "twice", "a.go:30:1")))
+	if len(reg) != 1 || reg[0].Message != "twice" {
+		t.Fatalf("excess copy: reg=%v, want one extra of the frozen class", reg)
+	}
+
+	// Fixing a finding leaves its entry stale.
+	reg, stale = base.Filter(current[:1])
+	if len(reg) != 0 {
+		t.Fatalf("after fixes: unexpected regressions %v", reg)
+	}
+	if len(stale) != 1 || stale[0].Message != "twice" {
+		t.Fatalf("after fixes: stale=%v, want the fixed entry", stale)
+	}
+}
+
+// TestCheckRatchet: totals may fall or hold, never rise.
+func TestCheckRatchet(t *testing.T) {
+	old := New([]Finding{
+		find("a", "f.go", "m", "f.go:1:1"),
+		find("a", "f.go", "n", "f.go:2:1"),
+	})
+	if err := CheckRatchet(old, New(nil)); err != nil {
+		t.Fatalf("shrinking baseline rejected: %v", err)
+	}
+	same := New([]Finding{
+		find("b", "g.go", "x", "g.go:1:1"),
+		find("b", "g.go", "y", "g.go:2:1"),
+	})
+	if err := CheckRatchet(old, same); err != nil {
+		t.Fatalf("same-size baseline rejected: %v", err)
+	}
+	grown := New([]Finding{
+		find("a", "f.go", "m", "f.go:1:1"),
+		find("a", "f.go", "n", "f.go:2:1"),
+		find("a", "f.go", "o", "f.go:3:1"),
+	})
+	err := CheckRatchet(old, grown)
+	if err == nil {
+		t.Fatal("growing baseline accepted")
+	}
+	if !strings.Contains(err.Error(), "2 to 3") {
+		t.Fatalf("ratchet error %q does not name the counts", err)
+	}
+}
+
+// TestParseErrors: malformed lines are rejected with line numbers.
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"1\tdetflow\tmissing-message",
+		"zero\tdetflow\ta.go\tmsg",
+		"0\tdetflow\ta.go\tmsg",
+	} {
+		if _, err := Parse([]byte(bad + "\n")); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", bad)
+		}
+	}
+	// Comments and blanks are fine.
+	b, err := Parse([]byte("# header\n\n1\ta\tf.go\tmsg\n"))
+	if err != nil || b.Total() != 1 {
+		t.Fatalf("Parse with comments: %v, total %d", err, b.Total())
+	}
+}
+
+// TestLoadMissing: a missing file is an empty baseline, not an error.
+func TestLoadMissing(t *testing.T) {
+	b, err := Load("testdata/does-not-exist.baseline")
+	if err != nil {
+		t.Fatalf("Load(missing): %v", err)
+	}
+	if b.Total() != 0 {
+		t.Fatalf("Load(missing).Total() = %d, want 0", b.Total())
+	}
+}

@@ -1,0 +1,12 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"delrep/internal/lint/analysis/analysistest"
+	"delrep/internal/lint/ctxflow"
+)
+
+func TestCtxflow(t *testing.T) {
+	analysistest.RunWithFixes(t, "testdata", ctxflow.Analyzer, "cf")
+}

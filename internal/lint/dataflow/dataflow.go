@@ -1,0 +1,756 @@
+// Package dataflow is a lightweight package-level taint engine for the
+// simulator's determinism discipline, built on go/types and a def-use
+// walk of each function body — no SSA, no golang.org/x/tools.
+//
+// The engine tracks values derived from nondeterministic sources:
+//
+//   - wall-clock time (time.Now / Since / Until)
+//   - the global math/rand generator (package-level functions of
+//     math/rand and math/rand/v2; *rand.Rand methods are assumed to be
+//     config-seeded, which the rngsource analyzer enforces separately)
+//   - map iteration order (range over a map, maps.Keys / maps.Values,
+//     sync.Map.Range callback arguments)
+//   - goroutine/channel scheduling order (variables bound in a select
+//     with two or more communication cases)
+//   - pointer identity (fmt %p verbs, printing a pointer value,
+//     reflect Pointer/UnsafePointer, uintptr conversions of pointers)
+//
+// Taint propagates through assignments, arithmetic, composite
+// literals, indexing, and calls (a call with a tainted argument or
+// receiver returns a tainted value). Functions declared in the
+// analyzed package get a one-bit summary — "returns a tainted value" —
+// iterated to a fixpoint, so taint flows through package-local
+// helpers; that is the def-use walk's inter-procedural reach, and it
+// is deliberately unsound across packages (each package is analyzed
+// against its own sources).
+//
+// Sorting sanitizes ordering taint: sort.* and slices.Sort* calls kill
+// map-order and select-order taint on their argument, because a sorted
+// collection no longer depends on the order elements arrived in.
+// Time, RNG, and pointer taint survive sorting — a sorted slice of
+// wall-clock samples is still nondeterministic.
+//
+// The detflow analyzer combines this engine with the digest-bearing
+// sinks (stats.Digest inputs, core.Results, simspec.Result fields);
+// see DESIGN.md §10 for the full source/sink/sanitizer model.
+package dataflow
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"delrep/internal/lint/analysis"
+)
+
+// Kind classifies a nondeterminism source.
+type Kind uint8
+
+const (
+	// KindTime marks wall-clock-derived values.
+	KindTime Kind = iota
+	// KindRand marks values from the global (unseeded) RNG.
+	KindRand
+	// KindMapOrder marks values whose content depends on map iteration
+	// order.
+	KindMapOrder
+	// KindSelectOrder marks values whose content depends on select or
+	// goroutine scheduling order.
+	KindSelectOrder
+	// KindPointer marks values derived from pointer identity.
+	KindPointer
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindTime:
+		return "wall-clock time"
+	case KindRand:
+		return "global RNG"
+	case KindMapOrder:
+		return "map iteration order"
+	case KindSelectOrder:
+		return "select/scheduling order"
+	case KindPointer:
+		return "pointer identity"
+	}
+	return "nondeterminism"
+}
+
+// ordering reports whether the kind is an arrival-order taint that
+// sorting sanitizes.
+func (k Kind) ordering() bool { return k == KindMapOrder || k == KindSelectOrder }
+
+// Source describes where a taint entered the program.
+type Source struct {
+	Kind Kind
+	Pos  token.Pos
+	Desc string // e.g. "time.Now()", "range over map[string]int"
+}
+
+// Result is the taint analysis of one package.
+type Result struct {
+	pass      *analysis.Pass
+	exprTaint map[ast.Expr]*Source
+	objTaint  map[types.Object]*Source
+	summaries map[*types.Func]*Source // package functions returning taint
+}
+
+// TaintOf returns the source tainting e, or nil. Every expression the
+// engine visited is recorded; unvisited expressions fall back to a
+// scan for tainted identifiers.
+func (r *Result) TaintOf(e ast.Expr) *Source {
+	if s, ok := r.exprTaint[e]; ok {
+		return s
+	}
+	var found *Source
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		if sub, ok := n.(ast.Expr); ok {
+			if s := r.exprTaint[sub]; s != nil {
+				found = s
+				return false
+			}
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := r.pass.TypesInfo.Uses[id]; obj != nil {
+				if s := r.objTaint[obj]; s != nil {
+					found = s
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// Summary reports whether the package function fn returns a tainted
+// value, and from which source.
+func (r *Result) Summary(fn *types.Func) *Source { return r.summaries[fn] }
+
+// maxPasses bounds the package fixpoint: each pass re-walks every
+// function so loop-carried and late-declared taint reaches earlier
+// uses; real code converges in two.
+const maxPasses = 4
+
+// Analyze runs the taint engine over the pass's package.
+func Analyze(pass *analysis.Pass) *Result {
+	r := &Result{
+		pass:      pass,
+		exprTaint: map[ast.Expr]*Source{},
+		objTaint:  map[types.Object]*Source{},
+		summaries: map[*types.Func]*Source{},
+	}
+	w := &walker{pass: pass, res: r}
+	for i := 0; i < maxPasses; i++ {
+		w.changed = false
+		for _, file := range pass.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+				w.curFn = fn
+				w.curRet = r.summaries[fn]
+				w.stmt(fd.Body)
+				if fn != nil && w.curRet != nil && r.summaries[fn] == nil {
+					r.summaries[fn] = w.curRet
+					w.changed = true
+				}
+			}
+		}
+		if !w.changed {
+			break
+		}
+	}
+	return r
+}
+
+// walker performs the in-order def-use walk of one function body.
+type walker struct {
+	pass    *analysis.Pass
+	res     *Result
+	changed bool
+	curFn   *types.Func
+	curRet  *Source
+}
+
+// taintObj records obj as tainted by src (nil src kills the taint, as
+// an untainted reassignment does).
+func (w *walker) taintObj(obj types.Object, src *Source) {
+	if obj == nil {
+		return
+	}
+	prev := w.res.objTaint[obj]
+	switch {
+	case src != nil && prev == nil:
+		w.res.objTaint[obj] = src
+		w.changed = true
+	case src == nil && prev != nil:
+		delete(w.res.objTaint, obj)
+		w.changed = true
+	}
+}
+
+// record stores e's taint for later TaintOf queries. Taint is sticky
+// per expression node: once an expression has been seen tainted it
+// stays recorded, because the recording pass saw a program point where
+// the taint held.
+func (w *walker) record(e ast.Expr, src *Source) *Source {
+	if src != nil {
+		w.res.exprTaint[e] = src
+	}
+	return src
+}
+
+func (w *walker) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			w.stmt(st)
+		}
+	case *ast.AssignStmt:
+		w.assign(s)
+	case *ast.IncDecStmt:
+		w.expr(s.X)
+	case *ast.ExprStmt:
+		w.expr(s.X)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					var src *Source
+					if len(vs.Values) == 1 && len(vs.Names) > 1 {
+						src = w.expr(vs.Values[0])
+					} else if i < len(vs.Values) {
+						src = w.expr(vs.Values[i])
+					}
+					w.taintObj(w.pass.TypesInfo.Defs[name], src)
+				}
+			}
+		}
+	case *ast.IfStmt:
+		w.stmt(s.Init)
+		w.expr(s.Cond)
+		w.stmt(s.Body)
+		w.stmt(s.Else)
+	case *ast.ForStmt:
+		w.stmt(s.Init)
+		if s.Cond != nil {
+			w.expr(s.Cond)
+		}
+		w.stmt(s.Post)
+		w.stmt(s.Body)
+	case *ast.RangeStmt:
+		w.rangeStmt(s)
+	case *ast.SwitchStmt:
+		w.stmt(s.Init)
+		if s.Tag != nil {
+			w.expr(s.Tag)
+		}
+		w.stmt(s.Body)
+	case *ast.TypeSwitchStmt:
+		w.stmt(s.Init)
+		w.stmt(s.Assign)
+		w.stmt(s.Body)
+	case *ast.CaseClause:
+		for _, e := range s.List {
+			w.expr(e)
+		}
+		for _, st := range s.Body {
+			w.stmt(st)
+		}
+	case *ast.SelectStmt:
+		w.selectStmt(s)
+	case *ast.CommClause:
+		w.stmt(s.Comm)
+		for _, st := range s.Body {
+			w.stmt(st)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			if src := w.expr(e); src != nil && w.curRet == nil {
+				w.curRet = src
+			}
+		}
+	case *ast.SendStmt:
+		w.expr(s.Chan)
+		w.expr(s.Value)
+	case *ast.GoStmt:
+		w.expr(s.Call)
+	case *ast.DeferStmt:
+		w.expr(s.Call)
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt)
+	}
+}
+
+// assign handles =, :=, and op= forms, killing taint on untainted
+// plain reassignment and spreading a single multi-value rhs across
+// every lhs.
+func (w *walker) assign(s *ast.AssignStmt) {
+	var srcs []*Source
+	if len(s.Rhs) == 1 && len(s.Lhs) > 1 {
+		src := w.expr(s.Rhs[0])
+		for range s.Lhs {
+			srcs = append(srcs, src)
+		}
+	} else {
+		for _, rhs := range s.Rhs {
+			srcs = append(srcs, w.expr(rhs))
+		}
+	}
+	for i, lhs := range s.Lhs {
+		var src *Source
+		if i < len(srcs) {
+			src = srcs[i]
+		}
+		if s.Tok != token.ASSIGN && s.Tok != token.DEFINE {
+			// x += y keeps x's old taint and may add y's.
+			if src == nil {
+				src = w.expr(lhs)
+			}
+		}
+		switch target := ast.Unparen(lhs).(type) {
+		case *ast.Ident:
+			if target.Name == "_" {
+				continue
+			}
+			obj := w.pass.TypesInfo.Defs[target]
+			if obj == nil {
+				obj = w.pass.TypesInfo.Uses[target]
+			}
+			if s.Tok != token.ASSIGN && s.Tok != token.DEFINE && src == nil {
+				continue // op= with clean rhs keeps current state
+			}
+			w.taintObj(obj, src)
+		default:
+			// A write through a selector or index taints the whole root
+			// object (field-insensitive); a clean write does not untaint
+			// it, since other fields may still carry taint.
+			if src != nil {
+				w.taintObj(rootObject(w.pass, lhs), src)
+				w.record(lhs, src)
+			}
+		}
+	}
+}
+
+// rangeStmt taints the iteration variables when ranging over a map
+// (iteration order is nondeterministic) or over an already-tainted
+// collection.
+func (w *walker) rangeStmt(s *ast.RangeStmt) {
+	src := w.expr(s.X)
+	t := w.pass.TypesInfo.TypeOf(s.X)
+	if t != nil {
+		if _, isMap := t.Underlying().(*types.Map); isMap {
+			src = &Source{
+				Kind: KindMapOrder,
+				Pos:  s.For,
+				Desc: "range over " + types.TypeString(t, types.RelativeTo(w.pass.Pkg)),
+			}
+		}
+	}
+	for _, v := range []ast.Expr{s.Key, s.Value} {
+		if v == nil {
+			continue
+		}
+		if id, ok := ast.Unparen(v).(*ast.Ident); ok && id.Name != "_" {
+			obj := w.pass.TypesInfo.Defs[id]
+			if obj == nil {
+				obj = w.pass.TypesInfo.Uses[id]
+			}
+			w.taintObj(obj, src)
+		}
+	}
+	w.stmt(s.Body)
+}
+
+// selectStmt taints variables bound in communication clauses when two
+// or more cases compete: which one runs is a scheduler decision.
+func (w *walker) selectStmt(s *ast.SelectStmt) {
+	var comms int
+	for _, c := range s.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm != nil {
+			comms++
+		}
+	}
+	for _, c := range s.Body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		if as, ok := cc.Comm.(*ast.AssignStmt); ok && comms >= 2 {
+			src := &Source{
+				Kind: KindSelectOrder,
+				Pos:  cc.Pos(),
+				Desc: "value bound in a multi-way select",
+			}
+			for _, lhs := range as.Lhs {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && id.Name != "_" {
+					obj := w.pass.TypesInfo.Defs[id]
+					if obj == nil {
+						obj = w.pass.TypesInfo.Uses[id]
+					}
+					w.taintObj(obj, src)
+				}
+			}
+		} else {
+			w.stmt(cc.Comm)
+		}
+		for _, st := range cc.Body {
+			w.stmt(st)
+		}
+	}
+}
+
+func (w *walker) expr(e ast.Expr) *Source {
+	switch e := e.(type) {
+	case nil:
+		return nil
+	case *ast.Ident:
+		obj := w.pass.TypesInfo.Uses[e]
+		if obj == nil {
+			obj = w.pass.TypesInfo.Defs[e]
+		}
+		return w.record(e, w.res.objTaint[obj])
+	case *ast.ParenExpr:
+		return w.record(e, w.expr(e.X))
+	case *ast.SelectorExpr:
+		// Field access on a tainted value is tainted; a qualified
+		// identifier (pkg.Name) resolves through the Ident case.
+		if _, isPkg := w.pass.TypesInfo.Uses[e.Sel].(*types.PkgName); isPkg {
+			return nil
+		}
+		if sel, ok := w.pass.TypesInfo.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			return w.record(e, w.expr(e.X))
+		}
+		w.expr(e.X)
+		return nil
+	case *ast.StarExpr:
+		return w.record(e, w.expr(e.X))
+	case *ast.UnaryExpr:
+		return w.record(e, w.expr(e.X))
+	case *ast.BinaryExpr:
+		l := w.expr(e.X)
+		r := w.expr(e.Y)
+		if l == nil {
+			l = r
+		}
+		return w.record(e, l)
+	case *ast.IndexExpr:
+		x := w.expr(e.X)
+		i := w.expr(e.Index)
+		if x == nil {
+			x = i
+		}
+		return w.record(e, x)
+	case *ast.SliceExpr:
+		src := w.expr(e.X)
+		for _, idx := range []ast.Expr{e.Low, e.High, e.Max} {
+			if idx != nil {
+				if s := w.expr(idx); src == nil {
+					src = s
+				}
+			}
+		}
+		return w.record(e, src)
+	case *ast.CompositeLit:
+		var src *Source
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			if s := w.expr(el); src == nil {
+				src = s
+			}
+		}
+		return w.record(e, src)
+	case *ast.KeyValueExpr:
+		return w.record(e, w.expr(e.Value))
+	case *ast.TypeAssertExpr:
+		return w.record(e, w.expr(e.X))
+	case *ast.FuncLit:
+		w.stmt(e.Body)
+		return nil
+	case *ast.CallExpr:
+		return w.record(e, w.call(e))
+	}
+	return nil
+}
+
+// call evaluates one call expression: sources, sanitizers, package
+// summaries, conversions, and plain argument propagation.
+func (w *walker) call(call *ast.CallExpr) *Source {
+	// Conversions: uintptr(ptr) leaks pointer identity.
+	if tv, ok := w.pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		argSrc := w.expr(call.Args[0])
+		if isUintptr(tv.Type) && isPointerLike(w.pass.TypesInfo.TypeOf(call.Args[0])) {
+			return &Source{Kind: KindPointer, Pos: call.Pos(), Desc: "uintptr conversion of a pointer"}
+		}
+		return argSrc
+	}
+
+	fn := calleeFunc(w.pass, call)
+
+	// sync.Map.Range: the callback observes entries in nondeterministic
+	// order — taint its parameters before walking the body.
+	if fn != nil && fn.Name() == "Range" && recvNamed(fn) == "sync.Map" {
+		if len(call.Args) == 1 {
+			if fl, ok := ast.Unparen(call.Args[0]).(*ast.FuncLit); ok {
+				src := &Source{Kind: KindMapOrder, Pos: call.Pos(), Desc: "sync.Map.Range iteration"}
+				for _, f := range fl.Type.Params.List {
+					for _, name := range f.Names {
+						w.taintObj(w.pass.TypesInfo.Defs[name], src)
+					}
+				}
+			}
+		}
+		// fall through: args walked below (taints the funclit body with
+		// the parameters already marked).
+	}
+
+	// Sanitizers: sorting kills arrival-order taint on the argument.
+	if fn != nil && isSorter(fn) && len(call.Args) > 0 {
+		for _, arg := range call.Args {
+			w.expr(arg)
+		}
+		if obj := rootObject(w.pass, call.Args[0]); obj != nil {
+			if s := w.res.objTaint[obj]; s != nil && s.Kind.ordering() {
+				delete(w.res.objTaint, obj)
+				w.changed = true
+			}
+		}
+		return nil
+	}
+
+	// Evaluate receiver and arguments.
+	var src *Source
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if s := w.expr(sel.X); s != nil {
+			src = s
+		}
+	}
+	for _, arg := range call.Args {
+		if s := w.expr(arg); src == nil {
+			src = s
+		}
+	}
+
+	if fn == nil {
+		return src
+	}
+
+	// Known sources.
+	if s := sourceCall(w.pass, call, fn); s != nil {
+		return s
+	}
+
+	// len/cap of anything are deterministic counts.
+	if fn.Pkg() == nil {
+		if b, ok := w.pass.TypesInfo.Uses[baseIdent(call.Fun)].(*types.Builtin); ok {
+			switch b.Name() {
+			case "len", "cap":
+				return nil
+			}
+		}
+		return src
+	}
+
+	// Package-local summaries: a call to a function of this package
+	// that returns taint is itself a source at this call site.
+	if fn.Pkg() == w.pass.Pkg {
+		if s := w.res.summaries[fn]; s != nil {
+			return &Source{Kind: s.Kind, Pos: call.Pos(), Desc: s.Desc + " (via " + fn.Name() + ")"}
+		}
+	}
+	return src
+}
+
+// sourceCall recognizes the nondeterminism-source calls.
+func sourceCall(pass *analysis.Pass, call *ast.CallExpr, fn *types.Func) *Source {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return nil
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	pkgLevel := sig != nil && sig.Recv() == nil
+	switch {
+	case pkg.Path() == "time" && pkgLevel:
+		switch fn.Name() {
+		case "Now", "Since", "Until":
+			return &Source{Kind: KindTime, Pos: call.Pos(), Desc: "time." + fn.Name() + "()"}
+		}
+	case (pkg.Path() == "math/rand" || pkg.Path() == "math/rand/v2") && pkgLevel:
+		switch fn.Name() {
+		case "New", "NewSource", "NewZipf", "NewPCG", "NewChaCha8":
+			return nil // constructors: seeded by their arguments
+		}
+		return &Source{Kind: KindRand, Pos: call.Pos(), Desc: pkg.Name() + "." + fn.Name() + "() (global generator)"}
+	case pkg.Path() == "maps" && pkgLevel && (fn.Name() == "Keys" || fn.Name() == "Values"):
+		return &Source{Kind: KindMapOrder, Pos: call.Pos(), Desc: "maps." + fn.Name() + "()"}
+	case pkg.Path() == "reflect" && !pkgLevel && (fn.Name() == "Pointer" || fn.Name() == "UnsafePointer"):
+		return &Source{Kind: KindPointer, Pos: call.Pos(), Desc: "reflect ." + fn.Name() + "()"}
+	case pkg.Path() == "fmt" && pkgLevel:
+		if s := pointerFormat(pass, call, fn); s != nil {
+			return s
+		}
+	}
+	return nil
+}
+
+// pointerFormat flags fmt calls that render pointer identity: a %p (or
+// %#p) verb in a literal format string, or a pointer-typed argument to
+// the non-formatting printers.
+func pointerFormat(pass *analysis.Pass, call *ast.CallExpr, fn *types.Func) *Source {
+	name := fn.Name()
+	formatted := strings.HasSuffix(name, "f") // Sprintf, Fprintf, Printf, Errorf, Appendf
+	argStart := 0
+	if strings.HasPrefix(name, "F") || name == "Appendf" || name == "Append" || name == "Appendln" {
+		argStart = 1 // skip the writer / destination
+	}
+	if formatted {
+		if len(call.Args) <= argStart {
+			return nil
+		}
+		if lit, ok := ast.Unparen(call.Args[argStart]).(*ast.BasicLit); ok && lit.Kind == token.STRING {
+			if strings.Contains(lit.Value, "%p") || strings.Contains(lit.Value, "%#p") {
+				return &Source{Kind: KindPointer, Pos: call.Pos(), Desc: "fmt." + name + " with %p"}
+			}
+		}
+		return nil
+	}
+	switch name {
+	case "Sprint", "Sprintln", "Print", "Println", "Fprint", "Fprintln":
+		for _, arg := range call.Args[min(argStart, len(call.Args)):] {
+			if isPointerLike(pass.TypesInfo.TypeOf(arg)) {
+				return &Source{Kind: KindPointer, Pos: call.Pos(), Desc: "fmt." + name + " of a pointer value"}
+			}
+		}
+	}
+	return nil
+}
+
+// isSorter reports whether fn is a sanitizing sort.
+func isSorter(fn *types.Func) bool {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return false
+	}
+	switch pkg.Path() {
+	case "sort":
+		switch fn.Name() {
+		case "Slice", "SliceStable", "Sort", "Stable", "Strings", "Ints", "Float64s":
+			return true
+		}
+	case "slices":
+		return strings.HasPrefix(fn.Name(), "Sort")
+	}
+	return false
+}
+
+func isUintptr(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Uintptr
+}
+
+// isPointerLike reports whether values of t carry address identity.
+func isPointerLike(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+// rootObject resolves the base object of a selector/index/deref chain.
+func rootObject(pass *analysis.Pass, e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		case *ast.Ident:
+			if obj := pass.TypesInfo.Uses[x]; obj != nil {
+				return obj
+			}
+			return pass.TypesInfo.Defs[x]
+		default:
+			return nil
+		}
+	}
+}
+
+// baseIdent returns the identifier named by a (possibly selected)
+// callee expression.
+func baseIdent(e ast.Expr) *ast.Ident {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x
+	case *ast.SelectorExpr:
+		return x.Sel
+	}
+	return nil
+}
+
+// calleeFunc resolves the called function, if statically known.
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	if id := baseIdent(call.Fun); id != nil {
+		fn, _ := pass.TypesInfo.Uses[id].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// recvNamed renders fn's receiver type as "pkg.Name" (pointers
+// stripped), or "".
+func recvNamed(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return obj.Name()
+	}
+	return obj.Pkg().Name() + "." + obj.Name()
+}
+
+// DescribeAt renders a source for a diagnostic message, with its
+// origin position relative to the reporting file.
+func (s *Source) DescribeAt(fset *token.FileSet) string {
+	if s == nil {
+		return ""
+	}
+	pos := fset.Position(s.Pos)
+	return fmt.Sprintf("%s from %s at line %d", s.Kind, s.Desc, pos.Line)
+}

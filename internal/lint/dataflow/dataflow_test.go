@@ -1,0 +1,58 @@
+package dataflow_test
+
+import (
+	"go/types"
+	"path/filepath"
+	"testing"
+
+	"delrep/internal/lint/analysis"
+	"delrep/internal/lint/dataflow"
+)
+
+// TestSummaries checks the package-level fixpoint: which fixture
+// functions are known to return nondeterministic values.
+func TestSummaries(t *testing.T) {
+	loader, err := analysis.NewLoader("testdata")
+	if err != nil {
+		t.Fatalf("locating module root: %v", err)
+	}
+	loader.TestdataSrc = filepath.Join("testdata", "src")
+	pkg, err := loader.LoadDir(filepath.Join("testdata", "src", "flow"), "flow")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	pass := &analysis.Pass{
+		Analyzer:  &analysis.Analyzer{Name: "dataflow-test"},
+		Fset:      pkg.Fset,
+		Files:     pkg.Syntax,
+		Pkg:       pkg.Types,
+		PkgPath:   pkg.Path,
+		TypesInfo: pkg.Info,
+	}
+	res := dataflow.Analyze(pass)
+
+	want := map[string]*struct {
+		tainted bool
+		kind    dataflow.Kind
+	}{
+		"stamp":     {true, dataflow.KindTime},
+		"indirect":  {true, dataflow.KindTime},
+		"clean":     {false, 0},
+		"sanitized": {false, 0},
+		"unsorted":  {true, dataflow.KindMapOrder},
+	}
+	for name, w := range want {
+		fn, ok := pkg.Types.Scope().Lookup(name).(*types.Func)
+		if !ok {
+			t.Fatalf("fixture function %s not found", name)
+		}
+		src := res.Summary(fn)
+		if (src != nil) != w.tainted {
+			t.Errorf("Summary(%s) tainted = %v, want %v (src=%+v)", name, src != nil, w.tainted, src)
+			continue
+		}
+		if src != nil && src.Kind != w.kind {
+			t.Errorf("Summary(%s) kind = %v, want %v", name, src.Kind, w.kind)
+		}
+	}
+}

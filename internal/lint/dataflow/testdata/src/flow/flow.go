@@ -1,0 +1,37 @@
+// Package flow is a fixture for the dataflow engine's summary tests.
+package flow
+
+import (
+	"sort"
+	"time"
+)
+
+// stamp returns a wall-clock value: its summary must be tainted.
+func stamp() int64 { return time.Now().UnixNano() }
+
+// indirect returns taint through a package-local call chain.
+func indirect() int64 { return stamp() + 1 }
+
+// clean returns a deterministic value: no taint.
+func clean(x int64) int64 { return x * 2 }
+
+// sanitized collects map keys but sorts them: ordering taint killed.
+func sanitized(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// unsorted leaks map order to its caller.
+func unsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+var _ = []any{stamp, indirect, clean, sanitized, unsorted}

@@ -1,0 +1,182 @@
+// Package detflow reports nondeterministic values reaching
+// digest-bearing state. The determinism audit hashes every end-of-run
+// counter into a stats.Digest, and served results render core.Results
+// into simspec.Result — so any wall-clock timestamp, global-RNG draw,
+// map-iteration artifact, select-order value, or pointer rendering
+// that flows into those sinks silently breaks the bit-identical-digest
+// invariant the whole evaluation rests on.
+//
+// Sources, propagation, and sanitizers come from the
+// internal/lint/dataflow taint engine; this analyzer contributes the
+// sinks:
+//
+//   - arguments of stats.Digest methods (Uint64, Int64, Float64,
+//     String, Sampler)
+//   - fields of core.Results, written directly or via composite
+//     literal
+//   - fields of simspec.Result, the canonical wire form of a served
+//     result
+//
+// Sink types are matched by package name (stats, core, simspec) so the
+// analyzer keeps working on testdata fixtures and future package
+// moves.
+package detflow
+
+import (
+	"go/ast"
+	"go/types"
+
+	"delrep/internal/lint/analysis"
+	"delrep/internal/lint/dataflow"
+)
+
+// Analyzer reports taint flows from nondeterministic sources into
+// digest-bearing sinks.
+var Analyzer = &analysis.Analyzer{
+	Name: "detflow",
+	Doc: "flag nondeterministic values (wall clock, global RNG, map/select " +
+		"order, pointer identity) flowing into digest-bearing state " +
+		"(stats.Digest inputs, core.Results, simspec.Result)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	res := dataflow.Analyze(pass)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkDigestCall(pass, res, n)
+			case *ast.AssignStmt:
+				checkSinkAssign(pass, res, n)
+			case *ast.CompositeLit:
+				checkSinkLiteral(pass, res, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkDigestCall flags tainted arguments of stats.Digest methods.
+func checkDigestCall(pass *analysis.Pass, res *dataflow.Result, call *ast.CallExpr) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || !isSinkType(recvType(fn), "stats", "Digest") {
+		return
+	}
+	for _, arg := range call.Args {
+		if src := res.TaintOf(arg); src != nil {
+			pass.Reportf(arg.Pos(),
+				"%s flows into stats.Digest.%s: digests must depend only on the config and seed",
+				src.DescribeAt(pass.Fset), fn.Name())
+		}
+	}
+}
+
+// checkSinkAssign flags tainted writes to fields of a sink struct
+// (core.Results, simspec.Result).
+func checkSinkAssign(pass *analysis.Pass, res *dataflow.Result, as *ast.AssignStmt) {
+	for i, lhs := range as.Lhs {
+		sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+		if !ok {
+			continue
+		}
+		s, ok := pass.TypesInfo.Selections[sel]
+		if !ok || s.Kind() != types.FieldVal {
+			continue
+		}
+		name, ok := sinkOf(pass.TypesInfo.TypeOf(sel.X))
+		if !ok {
+			continue
+		}
+		var rhs ast.Expr
+		if len(as.Rhs) == 1 {
+			rhs = as.Rhs[0]
+		} else if i < len(as.Rhs) {
+			rhs = as.Rhs[i]
+		}
+		if rhs == nil {
+			continue
+		}
+		if src := res.TaintOf(rhs); src != nil {
+			pass.Reportf(lhs.Pos(),
+				"%s flows into %s.%s: served and audited results must be bit-reproducible",
+				src.DescribeAt(pass.Fset), name, sel.Sel.Name)
+		}
+	}
+}
+
+// checkSinkLiteral flags tainted elements of a sink composite literal.
+func checkSinkLiteral(pass *analysis.Pass, res *dataflow.Result, lit *ast.CompositeLit) {
+	name, ok := sinkOf(pass.TypesInfo.TypeOf(lit))
+	if !ok {
+		return
+	}
+	for _, el := range lit.Elts {
+		field := ""
+		val := el
+		if kv, ok := el.(*ast.KeyValueExpr); ok {
+			val = kv.Value
+			if id, ok := kv.Key.(*ast.Ident); ok {
+				field = "." + id.Name
+			}
+		}
+		if src := res.TaintOf(val); src != nil {
+			pass.Reportf(val.Pos(),
+				"%s flows into %s%s: served and audited results must be bit-reproducible",
+				src.DescribeAt(pass.Fset), name, field)
+		}
+	}
+}
+
+// sinkOf reports whether t (possibly a pointer) is a digest-bearing
+// result type, returning its display name.
+func sinkOf(t types.Type) (string, bool) {
+	if t == nil {
+		return "", false
+	}
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	switch {
+	case isSinkType(named, "core", "Results"):
+		return "core.Results", true
+	case isSinkType(named, "simspec", "Result"):
+		return "simspec.Result", true
+	case isSinkType(named, "stats", "Digest"):
+		return "stats.Digest", true
+	}
+	return "", false
+}
+
+func isSinkType(named *types.Named, pkgName, typeName string) bool {
+	if named == nil {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Name() == typeName &&
+		obj.Pkg() != nil && obj.Pkg().Name() == pkgName
+}
+
+// recvType returns fn's receiver named type with pointers stripped.
+func recvType(fn *types.Func) *types.Named {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	t := types.Unalias(sig.Recv().Type())
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	named, _ := t.(*types.Named)
+	return named
+}

@@ -1,0 +1,12 @@
+package detflow_test
+
+import (
+	"testing"
+
+	"delrep/internal/lint/analysis/analysistest"
+	"delrep/internal/lint/detflow"
+)
+
+func TestDetflow(t *testing.T) {
+	analysistest.Run(t, "testdata", detflow.Analyzer, "df/sim")
+}

@@ -1,0 +1,9 @@
+// Package core is a fixture stand-in for internal/core's result type.
+package core
+
+// Results mimics the simulator's end-of-run results struct.
+type Results struct {
+	GPUIPC float64
+	Cycles int64
+	Note   string
+}

@@ -1,0 +1,133 @@
+// Package sim exercises the detflow sources, sinks, and sanitizers.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"df/core"
+	"df/simspec"
+	"df/stats"
+)
+
+// wallClock: a time.Now-derived value reaching a digest input.
+func wallClock(d *stats.Digest) {
+	t := time.Now()
+	d.Int64(t.UnixNano()) // want `wall-clock time from time.Now\(\)`
+}
+
+// globalRand: the process-wide generator reaching a digest input.
+func globalRand(d *stats.Digest) {
+	v := rand.Int63()
+	d.Int64(v) // want `global RNG from rand.Int63\(\)`
+}
+
+// seededRand: a config-seeded generator is fine.
+func seededRand(d *stats.Digest, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	d.Int64(rng.Int63())
+}
+
+// mapOrderSum: float accumulation in map order is order-dependent.
+func mapOrderSum(d *stats.Digest, m map[string]float64) {
+	var sum float64
+	for _, v := range m {
+		sum += v
+	}
+	d.Float64(sum) // want `map iteration order from range over map\[string\]float64`
+}
+
+// sortedKeys: sorting sanitizes map-order taint.
+func sortedKeys(d *stats.Digest, m map[string]float64) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	d.String(strings.Join(keys, ","))
+}
+
+// selectOrder: a value bound in a multi-way select depends on the
+// scheduler.
+func selectOrder(d *stats.Digest, a, b chan int64) {
+	var v int64
+	select {
+	case v = <-a:
+	case v = <-b:
+	}
+	d.Int64(v) // want `select/scheduling order`
+}
+
+// singleRecv: one communication case has no ordering choice.
+func singleRecv(d *stats.Digest, a chan int64) {
+	v := <-a
+	d.Int64(v)
+}
+
+// pointerFmt: %p renders address-space layout into the digest.
+func pointerFmt(d *stats.Digest, p *int) {
+	s := fmt.Sprintf("%p", p)
+	d.String(s) // want `pointer identity from fmt.Sprintf with %p`
+}
+
+// stamp is a package-local helper whose summary carries the taint.
+func stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+// viaHelper: taint crosses a package-local call through the summary.
+func viaHelper(d *stats.Digest) {
+	d.Int64(stamp()) // want `wall-clock time .*via stamp`
+}
+
+// resultsField: a tainted write into the results struct.
+func resultsField(r *core.Results, x *int) {
+	r.Note = fmt.Sprintf("%p", x) // want `pointer identity .* core.Results.Note`
+}
+
+// resultsLiteral: tainted and clean composite-literal elements.
+func resultsLiteral(seed int64) core.Results {
+	clean := core.Results{Cycles: seed}
+	_ = clean
+	return core.Results{
+		Cycles: time.Now().Unix(), // want `wall-clock time .* core.Results.Cycles`
+	}
+}
+
+// wireResult: the served wire form is a sink too.
+func wireResult(m map[string]int) simspec.Result {
+	var last string
+	for k := range m {
+		last = k
+	}
+	return simspec.Result{
+		Digest: last, // want `map iteration order .* simspec.Result.Digest`
+	}
+}
+
+// syncMapRange: sync.Map iteration order taints the callback values.
+func syncMapRange(d *stats.Digest, m *sync.Map) {
+	var last any
+	m.Range(func(k, v any) bool {
+		last = v
+		return true
+	})
+	d.String(fmt.Sprint(last)) // want `map iteration order from sync.Map.Range`
+}
+
+// suppressed: an acknowledged exception stays quiet.
+func suppressed(d *stats.Digest) {
+	//simlint:ignore detflow fixture exception: build stamp, not simulated state
+	d.Int64(time.Now().UnixNano())
+}
+
+// cleanFlow: deterministic inputs stay silent end to end.
+func cleanFlow(d *stats.Digest, cycles int64, ipc float64) core.Results {
+	d.Int64(cycles)
+	d.Float64(ipc)
+	return core.Results{GPUIPC: ipc, Cycles: cycles}
+}

@@ -1,0 +1,8 @@
+// Package simspec is a fixture stand-in for the canonical wire form.
+package simspec
+
+// Result mimics the served result rendering.
+type Result struct {
+	Digest string
+	GPUIPC float64
+}

@@ -1,0 +1,23 @@
+// Package stats is a fixture stand-in for the real internal/stats:
+// the detflow analyzer matches sink types by package name, so this
+// Digest is sink-equivalent to the real one.
+package stats
+
+// Digest mimics the determinism-audit hash accumulator.
+type Digest struct{ h uint64 }
+
+// Uint64 folds v.
+func (d *Digest) Uint64(v uint64) { d.h ^= v }
+
+// Int64 folds v.
+func (d *Digest) Int64(v int64) { d.Uint64(uint64(v)) }
+
+// Float64 folds v.
+func (d *Digest) Float64(v float64) { d.Uint64(uint64(v)) }
+
+// String folds s.
+func (d *Digest) String(s string) {
+	for i := 0; i < len(s); i++ {
+		d.Uint64(uint64(s[i]))
+	}
+}

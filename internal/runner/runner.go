@@ -130,6 +130,11 @@ type Engine struct {
 	progress io.Writer
 	sem      chan struct{}
 
+	// progressMu serializes writes to progress and guards nothing
+	// else: a slow progress writer (a piped stderr, a test buffer)
+	// must never block Submit/Wait, which contend on mu.
+	progressMu sync.Mutex
+
 	mu       sync.Mutex
 	memo     map[string]*Future
 	counters Counters
@@ -253,6 +258,7 @@ func (e *Engine) SubmitCtx(ctx context.Context, spec Spec) *Future {
 		f.addWaiter(ctx)
 		return f
 	}
+	//simlint:ignore ctxflow the run is memoized and shared: its lifetime is the union of all waiter contexts (see addWaiter), not the first submitter's
 	runCtx, cancel := context.WithCancel(context.Background())
 	f := &Future{spec: spec, key: k, done: make(chan struct{}), cancel: cancel}
 	e.memo[k] = f
@@ -307,9 +313,10 @@ func (e *Engine) execute(f *Future, runCtx context.Context) {
 		line := fmt.Sprintf("  run %-5s + %-12s %s %s %s...\n",
 			f.spec.GPU, f.spec.CPU, f.spec.Cfg.Scheme,
 			f.spec.Cfg.Layout.Name, f.spec.Cfg.NoC.Topology)
-		e.mu.Lock()
+		e.progressMu.Lock()
+		//simlint:ignore lockorder progressMu exists solely to serialize this writer; it is never held with mu or around anything else
 		io.WriteString(e.progress, line)
-		e.mu.Unlock()
+		e.progressMu.Unlock()
 	}
 
 	a, err := runAudit(runCtx, f)
