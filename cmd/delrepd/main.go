@@ -12,6 +12,15 @@
 //	curl -s localhost:8080/v1/jobs -d '{"spec":{"gpu":"HS","cpu":"vips"}}'
 //	curl -s localhost:8080/v1/jobs/j000001
 //
+// Observability: logs are structured (logfmt on stderr; -log-json for
+// JSON lines), every job carries a wall-clock span trace exported at
+// /v1/jobs/{id}/trace (disable with -telemetry=false), the last
+// -flight completed jobs sit behind /debug/jobs and /debug/status, and
+// -pprof mounts net/http/pprof under /debug/pprof/. -cpuprofile and
+// -memprofile write whole-process profiles; the heap snapshot is also
+// written on SIGTERM, after the drain, so profiles survive a normal
+// service stop.
+//
 // See internal/serve for the full API. On SIGINT/SIGTERM the daemon
 // stops admitting jobs, cancels its queue, and drains running jobs for
 // up to -drain before cancelling them at their next checkpoint.
@@ -21,14 +30,16 @@ import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
+	"sync"
 	"syscall"
 	"time"
 
+	"delrep/internal/prof"
 	"delrep/internal/runner"
 	"delrep/internal/serve"
 )
@@ -42,22 +53,47 @@ func main() {
 		queue    = flag.Int("queue", 64, "max queued jobs before submissions get 429")
 		perCli   = flag.Int("client-inflight", 0, "max queued+running jobs per client (0 = unlimited)")
 		drain    = flag.Duration("drain", 2*time.Minute, "how long shutdown waits for running jobs before cancelling them")
+		logJSON  = flag.Bool("log-json", false, "emit logs as JSON lines instead of logfmt")
+		telem    = flag.Bool("telemetry", true, "record per-job span traces (GET /v1/jobs/{id}/trace) and the flight recorder (/debug/jobs)")
+		flight   = flag.Int("flight", 128, "completed-job summaries kept in the flight recorder ring")
+		pprofOn  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
-	logger := log.New(os.Stderr, "delrepd: ", log.LstdFlags)
+	var handler slog.Handler
+	if *logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	} else {
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	}
+	logger := slog.New(handler)
+	fatal := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
+
+	// stopProf is safe to call from both the normal exit path and the
+	// signal path; only the first call writes the heap profile, so a
+	// SIGTERM-driven drain still produces -memprofile output.
+	rawStop, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		fatal("starting profiler", "error", err)
+	}
+	stopProf := sync.OnceFunc(rawStop)
+	defer stopProf()
 
 	var maxBytes int64
 	if *cacheMax != "" {
-		var err error
 		if maxBytes, err = runner.ParseSize(*cacheMax); err != nil {
-			logger.Fatalf("-cache-max: %v", err)
+			fatal("parsing -cache-max", "error", err)
 		}
 	}
 	cache := openCache(logger, *cacheDir)
 	if cache != nil {
-		logger.Printf("result cache at %s", cache.Dir())
+		logger.Info("result cache open", "dir", cache.Dir())
 	} else if maxBytes > 0 {
-		logger.Fatalf("-cache-max set but the cache is disabled")
+		fatal("-cache-max set but the cache is disabled")
 	}
 
 	eng := runner.New(runner.Options{Workers: *jobs, Cache: cache})
@@ -66,57 +102,66 @@ func main() {
 		QueueDepth:     *queue,
 		ClientInFlight: *perCli,
 		CacheMaxBytes:  maxBytes,
-		Logf:           logger.Printf,
+		Logger:         logger,
+		Telemetry:      *telem,
+		FlightSize:     *flight,
+		EnablePprof:    *pprofOn,
 	})
 
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	errCh := make(chan error, 1)
 	go func() { errCh <- hs.ListenAndServe() }()
-	logger.Printf("serving on %s with %d workers, queue depth %d", *addr, srv.Workers(), *queue)
+	logger.Info("serving", "addr", *addr, "workers", srv.Workers(), "queue_depth", *queue,
+		"telemetry", *telem, "pprof", *pprofOn)
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
 	select {
 	case sig := <-sigCh:
-		logger.Printf("received %s: draining (up to %s)", sig, *drain)
+		logger.Info("draining", "signal", sig.String(), "timeout", drain.String())
 	case err := <-errCh:
-		logger.Fatalf("listening on %s: %v", *addr, err)
+		fatal("listening failed", "addr", *addr, "error", err)
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
-		logger.Printf("drain deadline passed: running jobs cancelled (%v)", err)
+		logger.WarnContext(ctx, "drain deadline passed: running jobs cancelled", "error", err)
 	}
 	if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		logger.Printf("http shutdown: %v", err)
+		logger.WarnContext(ctx, "http shutdown", "error", err)
 	}
-	logger.Printf("stopped")
+	// Stop profiling inside the signal-driven path too: SIGTERM is the
+	// normal way a service manager stops the daemon, and the -memprofile
+	// snapshot should reflect the drained (quiescent) heap.
+	stopProf()
+	logger.InfoContext(ctx, "stopped")
 }
 
 // openCache resolves the -cache flag the same way delrepsim does:
 // "off" disables it, "auto" selects the per-user default directory
 // (honouring DELREP_CACHE_DIR), anything else is a directory path.
-func openCache(logger *log.Logger, flagVal string) *runner.DiskCache {
+func openCache(logger *slog.Logger, flagVal string) *runner.DiskCache {
 	switch flagVal {
 	case "off":
 		return nil
 	case "auto":
 		dir, err := runner.DefaultCacheDir()
 		if err != nil {
-			logger.Printf("no user cache dir (%v); running uncached", err)
+			logger.Warn("no user cache dir; running uncached", "error", err)
 			return nil
 		}
 		c, err := runner.OpenDiskCache(dir)
 		if err != nil {
-			logger.Printf("opening cache %s: %v; running uncached", dir, err)
+			logger.Warn("opening cache failed; running uncached", "dir", dir, "error", err)
 			return nil
 		}
 		return c
 	default:
 		c, err := runner.OpenDiskCache(flagVal)
 		if err != nil {
-			logger.Fatalf("opening cache %s: %v", flagVal, err)
+			logger.Error("opening cache failed", "dir", flagVal, "error", err)
+			os.Exit(1)
 		}
 		return c
 	}

@@ -33,6 +33,7 @@ import (
 	"delrep/internal/obs"
 	"delrep/internal/prof"
 	"delrep/internal/simspec"
+	"delrep/internal/telemetry"
 	"delrep/internal/workload"
 )
 
@@ -58,6 +59,7 @@ func main() {
 		metricsWindow = flag.Int64("metrics-window", 1000, "metric sampling window in cycles")
 		traceOut      = flag.String("trace-out", "", "write Chrome trace-event JSON of sampled packet lifecycles")
 		traceSample   = flag.Uint64("trace-sample", 64, "trace every Nth packet (with -trace-out)")
+		telemOut      = flag.String("telemetry-out", "", "write Chrome trace-event JSON of the run's wall-clock phases (resolve, build, simulate, flush)")
 		clogFlag      = flag.Bool("clog", false, "print the clog-detector narrative after the run")
 		clogUtil      = flag.Float64("clog-util", 0.85, "clog-detector port-utilization threshold")
 
@@ -142,11 +144,22 @@ func main() {
 			VCDepth: *vcdepth, Warmup: *warm, Cycles: *cycles, Seed: *seed,
 		}
 	}
+	// The phase trace is wall-clock instrumentation of the CLI itself —
+	// the same span layer the daemon uses per job — and never touches
+	// the simulation, so results and digests are identical with or
+	// without -telemetry-out.
+	var tr *telemetry.Trace
+	if *telemOut != "" {
+		tr = telemetry.New("delrepsim", telemetry.A("gpu", *gpuBench), telemetry.A("cpu", *cpuBench))
+	}
+	resolveSpan := tr.Root().Start("resolve")
 	cfg, norm, err := spec.Resolve()
 	if err != nil {
 		fatalf("%v", err)
 	}
+	resolveSpan.End()
 
+	buildSpan := tr.Root().Start("build")
 	sys := core.NewSystem(cfg, norm.GPU, norm.CPU)
 	var observer *obs.Observer
 	if *metricsOut != "" || *traceOut != "" || *clogFlag {
@@ -161,8 +174,15 @@ func main() {
 		})
 		sys.AttachObserver(observer)
 	}
+	buildSpan.End()
+	runSpan := tr.Root().Start("simulate")
 	r := sys.RunWorkload()
+	runSpan.Set("cycles", r.Cycles)
+	runSpan.End()
+	flushSpan := tr.Root().Start("flush")
 	flushObserver(observer, *metricsOut, *traceOut)
+	flushSpan.End()
+	writePhaseTrace(tr, *telemOut)
 
 	if *jsonOut {
 		out := simspec.NewResult(norm, r, sys.StatsDigest())
@@ -214,6 +234,26 @@ func main() {
 		if err := observer.Clog.Narrative(os.Stdout); err != nil {
 			fatalf("writing clog narrative: %v", err)
 		}
+	}
+}
+
+// writePhaseTrace finalizes and writes the CLI phase trace; nil trace
+// (no -telemetry-out) is a no-op.
+func writePhaseTrace(tr *telemetry.Trace, path string) {
+	if tr == nil {
+		return
+	}
+	tr.End()
+	f, err := os.Create(path)
+	if err != nil {
+		fatalf("creating %s: %v", path, err)
+	}
+	err = tr.WriteChrome(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fatalf("writing %s: %v", path, err)
 	}
 }
 

@@ -12,9 +12,16 @@ import (
 // switch wait, link serialization, wire flight, and ejection — in
 // cycle units (the viewer's "us" are simulator cycles). The output
 // loads directly into Perfetto / chrome://tracing.
+//
+// The encoder itself (Event, WriteChromeTrace) is exported so other
+// layers — notably internal/telemetry's served-job span trees — emit
+// the same format, and an in-sim packet trace and a served job's
+// timeline open in the same viewer.
 
-// traceEvent is one Chrome trace-event object.
-type traceEvent struct {
+// Event is one Chrome trace-event object: a complete slice ("X"), an
+// instant ("i"), or metadata ("M"). TS and Dur are in the viewer's
+// microsecond unit; the simulator maps cycles onto it 1:1.
+type Event struct {
 	Name  string         `json:"name"`
 	Phase string         `json:"ph"`
 	TS    int64          `json:"ts"`
@@ -27,17 +34,27 @@ type traceEvent struct {
 
 // traceDoc is the top-level Chrome trace JSON object.
 type traceDoc struct {
-	TraceEvents     []traceEvent `json:"traceEvents"`
-	DisplayTimeUnit string       `json:"displayTimeUnit"`
+	TraceEvents     []Event `json:"traceEvents"`
+	DisplayTimeUnit string  `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace writes events as a complete Chrome trace-event JSON
+// document, loadable by Perfetto / chrome://tracing. A nil events
+// slice produces a valid empty document.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	if events == nil {
+		events = []Event{}
+	}
+	return json.NewEncoder(w).Encode(traceDoc{DisplayTimeUnit: "ns", TraceEvents: events})
 }
 
 // slice appends one complete event when both endpoints are stamped and
 // the duration is non-negative.
-func slice(evs []traceEvent, name, cat string, from, to int64, tid uint64, args map[string]any) []traceEvent {
+func slice(evs []Event, name, cat string, from, to int64, tid uint64, args map[string]any) []Event {
 	if from < 0 || to < from {
 		return evs
 	}
-	return append(evs, traceEvent{
+	return append(evs, Event{
 		Name: name, Phase: "X", TS: from, Dur: to - from,
 		PID: 0, TID: tid, Cat: cat, Args: args,
 	})
@@ -46,16 +63,15 @@ func slice(evs []traceEvent, name, cat string, from, to int64, tid uint64, args 
 // WriteTrace exports the retained lifecycle traces as Chrome
 // trace-event JSON. Run-end only.
 func (o *Observer) WriteTrace(w io.Writer) error {
-	doc := traceDoc{DisplayTimeUnit: "ns", TraceEvents: []traceEvent{}}
+	evs := []Event{}
 	for i := range o.traces {
-		doc.TraceEvents = appendPacketEvents(doc.TraceEvents, &o.traces[i])
+		evs = appendPacketEvents(evs, &o.traces[i])
 	}
-	enc := json.NewEncoder(w)
-	return enc.Encode(doc)
+	return WriteChromeTrace(w, evs)
 }
 
 // appendPacketEvents renders one packet's lifecycle onto its track.
-func appendPacketEvents(evs []traceEvent, t *TraceRecord) []traceEvent {
+func appendPacketEvents(evs []Event, t *TraceRecord) []Event {
 	tid := t.ID
 	label := fmt.Sprintf("pkt %d %s %d->%d", t.ID, t.Class, t.Src, t.Dst)
 	if t.Payload != "" {
@@ -64,7 +80,7 @@ func appendPacketEvents(evs []traceEvent, t *TraceRecord) []traceEvent {
 	if t.Aborted != "" {
 		label += " [" + t.Aborted + "]"
 	}
-	evs = append(evs, traceEvent{
+	evs = append(evs, Event{
 		Name: "thread_name", Phase: "M", PID: 0, TID: tid,
 		Args: map[string]any{"name": label},
 	})

@@ -10,6 +10,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"delrep/internal/core"
@@ -31,6 +32,36 @@ const Version = "delrep-run-v2"
 // corrupt entry is treated as a miss and overwritten by the next Put.
 type DiskCache struct {
 	dir string
+
+	// Result-lookup accounting (Get only; blob artifacts are not
+	// counted). Atomics, so readers never contend with the hot path.
+	hits    atomic.Int64
+	misses  atomic.Int64
+	corrupt atomic.Int64
+}
+
+// CacheStats is a point-in-time snapshot of the cache's result-lookup
+// accounting. Corrupt counts entries that existed but failed to decode
+// or verify (stale format, truncated write, SHA collision) — each one
+// degraded to a miss rather than a wrong result, but a nonzero rate is
+// worth alerting on.
+type CacheStats struct {
+	Hits    int64
+	Misses  int64
+	Corrupt int64
+}
+
+// Stats returns the cache's lookup accounting. Safe on a nil cache
+// (all zeros), so callers with caching disabled need no guard.
+func (c *DiskCache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	return CacheStats{
+		Hits:    c.hits.Load(),
+		Misses:  c.misses.Load(),
+		Corrupt: c.corrupt.Load(),
+	}
 }
 
 // OpenDiskCache opens (creating if needed) a cache directory.
@@ -87,14 +118,20 @@ func (c *DiskCache) path(key, ext string) string {
 func (c *DiskCache) Get(key string) (res core.Results, digest uint64, ok bool) {
 	f, err := os.Open(c.path(key, ".run"))
 	if err != nil {
+		c.misses.Add(1)
 		return core.Results{}, 0, false
 	}
 	defer f.Close()
 	var e entry
 	if err := gob.NewDecoder(f).Decode(&e); err != nil ||
 		e.Version != Version || e.Key != key {
+		// The entry existed but failed to decode or verify: a
+		// truncated or stale-format file, counted separately from a
+		// plain miss so operators see corruption distinctly.
+		c.corrupt.Add(1)
 		return core.Results{}, 0, false
 	}
+	c.hits.Add(1)
 	return e.Results, e.Digest, true
 }
 

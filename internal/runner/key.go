@@ -1,6 +1,8 @@
 package runner
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 
 	"delrep/internal/config"
@@ -19,4 +21,13 @@ import (
 // keeps every present and future field run-identifying by default.
 func Key(cfg config.Config, gpu, cpu string) string {
 	return fmt.Sprintf("%s|%s|%+v", gpu, cpu, cfg)
+}
+
+// KeyHash returns a short stable identifier for a run key: the first
+// 12 hex digits of its SHA-256. Structured log lines and
+// flight-recorder entries carry it so a job can be correlated with its
+// cache identity without dumping the full rendered configuration.
+func KeyHash(cfg config.Config, gpu, cpu string) string {
+	sum := sha256.Sum256([]byte(Key(cfg, gpu, cpu)))
+	return hex.EncodeToString(sum[:6])
 }

@@ -49,6 +49,7 @@ import (
 
 	"delrep/internal/config"
 	"delrep/internal/core"
+	"delrep/internal/telemetry"
 )
 
 // Spec identifies one simulation: a complete configuration plus the
@@ -104,6 +105,8 @@ type Run struct {
 // starts a fresh execution resolves to exactly one of Executed,
 // DiskHits, or Failed; MemoHits counts submissions folded onto an
 // already-submitted Future (whatever that future later resolves to).
+// Obtain one via Engine.Snapshot; the fields of a snapshot are a plain
+// point-in-time copy, safe to read freely.
 type Counters struct {
 	Executed int64 // simulations run to completion in this process
 	MemoHits int64 // submissions served by an earlier in-process submission
@@ -135,9 +138,15 @@ type Engine struct {
 	// must never block Submit/Wait, which contend on mu.
 	progressMu sync.Mutex
 
-	mu       sync.Mutex
-	memo     map[string]*Future
-	counters Counters
+	// Accounting is atomic, not mu-guarded: /metrics scrapes read it
+	// via Snapshot without contending with submissions.
+	executed atomic.Int64
+	memoHits atomic.Int64
+	diskHits atomic.Int64
+	failed   atomic.Int64
+
+	mu   sync.Mutex
+	memo map[string]*Future
 }
 
 // New builds an Engine.
@@ -160,12 +169,21 @@ func (e *Engine) Workers() int { return cap(e.sem) }
 // DiskCache returns the engine's on-disk cache (nil if disabled).
 func (e *Engine) DiskCache() *DiskCache { return e.cache }
 
-// Counters returns a snapshot of the engine's accounting.
-func (e *Engine) Counters() Counters {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.counters
+// Snapshot returns a point-in-time copy of the engine's accounting.
+// Each field is read atomically; the snapshot as a whole is not a
+// single cut across all four counters, which is fine for monitoring
+// (the counters only grow).
+func (e *Engine) Snapshot() Counters {
+	return Counters{
+		Executed: e.executed.Load(),
+		MemoHits: e.memoHits.Load(),
+		DiskHits: e.diskHits.Load(),
+		Failed:   e.failed.Load(),
+	}
 }
+
+// Counters is an alias for Snapshot, kept for existing callers.
+func (e *Engine) Counters() Counters { return e.Snapshot() }
 
 // Future is a handle to one submitted simulation.
 type Future struct {
@@ -173,6 +191,12 @@ type Future struct {
 	key  string
 	done chan struct{}
 	run  Run
+
+	// span is the submitting job's telemetry span (nil when telemetry
+	// is off). Only the submission that created the future carries it:
+	// that job's trace gets the cache.lookup/engine.run detail, while
+	// deduplicated joiners get a dedup.join span of their own.
+	span *telemetry.Span
 
 	progDone  atomic.Int64
 	progTotal atomic.Int64
@@ -249,18 +273,23 @@ func (e *Engine) Submit(spec Spec) *Future {
 // from the memo table before it completes, so a later submission of
 // the same spec re-executes.
 func (e *Engine) SubmitCtx(ctx context.Context, spec Spec) *Future {
+	span := telemetry.SpanFromContext(ctx)
 	k := Key(spec.Cfg, spec.GPU, spec.CPU)
 	e.mu.Lock()
 	if f, ok := e.memo[k]; ok {
-		//simlint:ignore statsdiscipline harness accounting over the engine's lifetime, not a measurement-window stat
-		e.counters.MemoHits++
 		e.mu.Unlock()
+		e.memoHits.Add(1)
+		if join := span.Start("dedup.join"); join != nil {
+			// The join covers waiting on the shared future; it closes
+			// when that future completes, whoever ran it.
+			go func() { <-f.done; join.End() }()
+		}
 		f.addWaiter(ctx)
 		return f
 	}
 	//simlint:ignore ctxflow the run is memoized and shared: its lifetime is the union of all waiter contexts (see addWaiter), not the first submitter's
 	runCtx, cancel := context.WithCancel(context.Background())
-	f := &Future{spec: spec, key: k, done: make(chan struct{}), cancel: cancel}
+	f := &Future{spec: spec, key: k, done: make(chan struct{}), cancel: cancel, span: span}
 	e.memo[k] = f
 	e.mu.Unlock()
 	f.addWaiter(ctx)
@@ -279,9 +308,8 @@ func (e *Engine) execute(f *Future, runCtx context.Context) {
 			// table before anyone can observe completion.
 			e.mu.Lock()
 			delete(e.memo, f.key)
-			//simlint:ignore statsdiscipline harness accounting over the engine's lifetime, not a measurement-window stat
-			e.counters.Failed++
 			e.mu.Unlock()
+			e.failed.Add(1)
 		}
 		close(f.done)
 	}()
@@ -296,11 +324,12 @@ func (e *Engine) execute(f *Future, runCtx context.Context) {
 	}
 
 	if e.cache != nil {
-		if res, digest, ok := e.cache.Get(f.key); ok {
-			e.mu.Lock()
-			//simlint:ignore statsdiscipline harness accounting over the engine's lifetime, not a measurement-window stat
-			e.counters.DiskHits++
-			e.mu.Unlock()
+		look := f.span.Start("cache.lookup")
+		res, digest, ok := e.cache.Get(f.key)
+		look.Set("hit", ok)
+		look.End()
+		if ok {
+			e.diskHits.Add(1)
 			total := f.spec.Cfg.WarmupCycles + f.spec.Cfg.MeasureCycles
 			f.progTotal.Store(total)
 			f.progDone.Store(total)
@@ -319,15 +348,17 @@ func (e *Engine) execute(f *Future, runCtx context.Context) {
 		e.progressMu.Unlock()
 	}
 
-	a, err := runAudit(runCtx, f)
+	runSpan := f.span.Start("engine.run",
+		telemetry.A("gpu", f.spec.GPU), telemetry.A("cpu", f.spec.CPU))
+	a, err := runAudit(runCtx, f, runSpan)
+	runSpan.End()
 	if err != nil {
+		runSpan.Set("error", err.Error())
 		f.run = Run{Spec: f.spec, Err: err}
 		return
 	}
-	e.mu.Lock()
-	//simlint:ignore statsdiscipline harness accounting over the engine's lifetime, not a measurement-window stat
-	e.counters.Executed++
-	e.mu.Unlock()
+	runSpan.Set("cycles", a.Cycles)
+	e.executed.Add(1)
 	f.run = Run{Spec: f.spec, Results: a.Results, Digest: a.Digest, Source: SourceExecuted}
 	if e.cache != nil {
 		// Best effort: a full or read-only cache must not fail the run.
@@ -339,18 +370,40 @@ func (e *Engine) execute(f *Future, runCtx context.Context) {
 // converting a panic (an invalid configuration, a simulator bug) into
 // an error so one bad spec cannot take down a long-lived process that
 // shares this engine.
-func runAudit(runCtx context.Context, f *Future) (a core.AuditRun, err error) {
+//
+// When the submitting job carries a telemetry span, every
+// cycle-window checkpoint closes one "window" child span and opens the
+// next, so the job timeline shows where simulated time went. The spans
+// are recorded from the progress callback — strictly outside the tick
+// loop — and the trace's span cap bounds very long runs.
+func runAudit(runCtx context.Context, f *Future, runSpan *telemetry.Span) (a core.AuditRun, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			err = fmt.Errorf("simulation panicked: %v", p)
 		}
 	}()
-	return core.RunAuditCtrl(core.RunControl{
-		Ctx: runCtx,
-		OnProgress: func(done, total int64) {
+	onProgress := func(done, total int64) {
+		f.progDone.Store(done)
+		f.progTotal.Store(total)
+	}
+	if runSpan != nil {
+		win := runSpan.Start("window 0")
+		winIdx := 1
+		onProgress = func(done, total int64) {
 			f.progDone.Store(done)
 			f.progTotal.Store(total)
-		},
+			win.Set("cycles_done", done)
+			win.End()
+			win = nil
+			if done < total {
+				win = runSpan.Start(fmt.Sprintf("window %d", winIdx))
+				winIdx++
+			}
+		}
+	}
+	return core.RunAuditCtrl(core.RunControl{
+		Ctx:        runCtx,
+		OnProgress: onProgress,
 	}, f.spec.Cfg, f.spec.GPU, f.spec.CPU)
 }
 

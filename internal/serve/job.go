@@ -3,11 +3,13 @@ package serve
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"time"
 
 	"delrep/internal/config"
 	"delrep/internal/runner"
 	"delrep/internal/simspec"
+	"delrep/internal/telemetry"
 )
 
 // Status is a job's lifecycle state. Transitions are monotonic:
@@ -67,25 +69,33 @@ func (p Priority) String() string {
 // Job is one submitted simulation. Identity fields are immutable after
 // creation; mutable state is guarded by the owning Server's mutex.
 type Job struct {
-	id     string
-	client string
-	prio   Priority
-	spec   simspec.Spec // canonical form, echoed back to clients
-	cfg    config.Config
-	ctx    context.Context
-	cancel context.CancelFunc
+	id      string
+	client  string
+	prio    Priority
+	spec    simspec.Spec // canonical form, echoed back to clients
+	cfg     config.Config
+	specKey string // short content hash of the resolved spec
+	ctx     context.Context
+	cancel  context.CancelFunc
 	// doneCh closes when the job reaches a terminal status.
 	doneCh chan struct{}
+	// log carries the job's identity attrs (job/client/spec-key) on
+	// every record. Immutable after creation.
+	log *slog.Logger
+	// trace is the job's telemetry span tree; nil when telemetry is
+	// off. The Trace itself is safe for concurrent use.
+	trace *telemetry.Trace
 
 	// Guarded by Server.mu.
-	status   Status
-	errMsg   string
-	created  time.Time
-	started  time.Time
-	finished time.Time
-	fut      *runner.Future
-	run      runner.Run
-	subs     map[chan sseEvent]struct{}
+	status    Status
+	errMsg    string
+	created   time.Time
+	started   time.Time
+	finished  time.Time
+	fut       *runner.Future
+	run       runner.Run
+	subs      map[chan sseEvent]struct{}
+	spanQueue *telemetry.Span // open queue.wait span, ended at dispatch
 }
 
 // progressView is the running-job progress fragment of a job view.

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"net/http"
 	"strings"
+
+	"delrep/internal/stats"
 )
 
 // handleHealthz is liveness: the process is up and serving HTTP.
@@ -32,7 +34,8 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 // admission-rejection counters, the engine's cache accounting, and the
 // job latency histogram.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	c := s.eng.Counters()
+	c := s.eng.Snapshot()
+	cacheStats := s.eng.DiskCache().Stats()
 
 	s.mu.Lock()
 	var b strings.Builder
@@ -41,13 +44,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(&b, "# TYPE delrepd_workers gauge\ndelrepd_workers %d\n", s.workers)
 	fmt.Fprintf(&b, "# TYPE delrepd_worker_utilization gauge\ndelrepd_worker_utilization %g\n",
 		float64(s.runningCount)/float64(s.workers))
+	fmt.Fprintf(&b, "# TYPE delrepd_sse_subscribers gauge\ndelrepd_sse_subscribers %d\n", s.sseSubs)
 
 	fmt.Fprintf(&b, "# TYPE delrepd_jobs_total counter\n")
 	for _, st := range []Status{StatusDone, StatusFailed, StatusCancelled} {
 		fmt.Fprintf(&b, "delrepd_jobs_total{status=%q} %d\n", st, s.statusCounts[st])
 	}
 	fmt.Fprintf(&b, "# TYPE delrepd_rejects_total counter\n")
-	for _, reason := range []string{"queue_full", "client_cap"} {
+	for _, reason := range []string{"queue_full", "client_cap", "draining"} {
 		fmt.Fprintf(&b, "delrepd_rejects_total{reason=%q} %d\n", reason, s.rejects[reason])
 	}
 
@@ -64,8 +68,28 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	} else {
 		fmt.Fprintf(&b, "# TYPE delrepd_cache_hit_ratio gauge\ndelrepd_cache_hit_ratio 0\n")
 	}
+	fmt.Fprintf(&b, "# TYPE delrepd_disk_cache_total counter\n")
+	fmt.Fprintf(&b, "delrepd_disk_cache_total{result=\"hit\"} %d\n", cacheStats.Hits)
+	fmt.Fprintf(&b, "delrepd_disk_cache_total{result=\"miss\"} %d\n", cacheStats.Misses)
+	fmt.Fprintf(&b, "delrepd_disk_cache_total{result=\"corrupt\"} %d\n", cacheStats.Corrupt)
 
 	err := s.latency.WriteProm(&b, "delrepd_job_seconds")
+	for _, fam := range []struct {
+		name  string
+		hists *[numPriorities]*stats.Histogram
+	}{
+		{"delrepd_job_queue_seconds", &s.queueWait},
+		{"delrepd_job_exec_seconds", &s.execTime},
+		{"delrepd_job_total_seconds", &s.totalTime},
+	} {
+		if err != nil {
+			break
+		}
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", fam.name)
+		for p := Priority(0); p < numPriorities && err == nil; p++ {
+			err = fam.hists[p].WritePromLabeled(&b, fam.name, fmt.Sprintf("priority=%q", p))
+		}
+	}
 	s.mu.Unlock()
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "rendering metrics: %v", err)

@@ -20,12 +20,25 @@
 //	GET    /v1/jobs/{id}        job status, progress, and result
 //	GET    /v1/jobs/{id}/events server-sent events: status transitions
 //	                            and cycle-level progress
+//	GET    /v1/jobs/{id}/trace  the job's wall-clock span tree as Chrome
+//	                            trace-event JSON (?format=tree for the
+//	                            nested form); requires Options.Telemetry
 //	DELETE /v1/jobs/{id}        cancel a queued or running job
 //	GET    /healthz             liveness (always ok while serving)
 //	GET    /readyz              readiness (503 once draining)
 //	GET    /metrics             text exposition of queue depth, worker
-//	                            utilization, cache hit ratio, and the
-//	                            job latency histogram
+//	                            utilization, cache hit ratio, admission
+//	                            rejections, disk-cache outcomes, and
+//	                            latency histograms per priority class
+//	GET    /debug/jobs          flight recorder: the last N completed
+//	                            jobs with their span trees (JSON)
+//	GET    /debug/status        human-oriented HTML status page
+//	GET    /debug/pprof/        net/http/pprof (Options.EnablePprof)
+//
+// Telemetry is strictly wall-clock instrumentation of the serving
+// layers: span timestamps never enter the simulation, so a traced
+// job's results and determinism digest are byte-identical to an
+// untraced (or direct delrepsim) run of the same spec.
 //
 // Admission control is two-layered: a bounded queue (a full queue
 // answers 429 with a Retry-After estimated from recent job latency)
@@ -46,8 +59,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"math"
 	"net/http"
+	netpprof "net/http/pprof"
 	"strconv"
 	"sync"
 	"time"
@@ -55,6 +71,7 @@ import (
 	"delrep/internal/runner"
 	"delrep/internal/simspec"
 	"delrep/internal/stats"
+	"delrep/internal/telemetry"
 )
 
 // Options configures a Server.
@@ -77,8 +94,22 @@ type Options struct {
 	// ProgressInterval is the SSE progress-event cadence for running
 	// jobs; <= 0 selects 500ms.
 	ProgressInterval time.Duration
-	// Logf, when non-nil, receives one line per job transition.
-	Logf func(format string, args ...any)
+	// Logger receives structured logs (one record per job transition,
+	// admission rejection, prune, …); nil discards them. Every job
+	// record carries job/client/spec-key attrs, so one job's lifecycle
+	// greps out of a mixed stream.
+	Logger *slog.Logger
+	// Telemetry records a wall-clock span tree per job (exported by
+	// GET /v1/jobs/{id}/trace) and feeds the flight recorder behind
+	// /debug/jobs. Off by default: a nil trace costs one pointer check
+	// per instrumentation site and nothing else.
+	Telemetry bool
+	// FlightSize bounds the flight recorder's ring of completed-job
+	// summaries (<= 0 selects 128). Only meaningful with Telemetry.
+	FlightSize int
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ for live
+	// CPU/heap/goroutine profiling of the daemon.
+	EnablePprof bool
 }
 
 // Server is the simulation daemon. Create with New; serve its
@@ -90,7 +121,10 @@ type Server struct {
 	clientCap     int
 	cacheMax      int64
 	progressEvery time.Duration
-	logf          func(string, ...any)
+	logger        *slog.Logger
+	telemetry     bool
+	flight        *telemetry.FlightRecorder // nil when telemetry is off
+	started       time.Time
 	mux           *http.ServeMux
 	wg            sync.WaitGroup
 	pruneMu       sync.Mutex
@@ -105,10 +139,14 @@ type Server struct {
 	inflight     map[string]int // client -> queued+running jobs
 	seq          int
 	draining     bool
+	sseSubs      int // live SSE subscriber channels
 
-	latency      *stats.Histogram // completed-job wall seconds
-	statusCounts map[Status]int64 // terminal outcomes
-	rejects      map[string]int64 // admission rejections by reason
+	latency      *stats.Histogram                // completed-job wall seconds (all priorities)
+	queueWait    [numPriorities]*stats.Histogram // admission → dispatch, per priority
+	execTime     [numPriorities]*stats.Histogram // dispatch → terminal, per priority
+	totalTime    [numPriorities]*stats.Histogram // submit → terminal, per priority
+	statusCounts map[Status]int64                // terminal outcomes
+	rejects      map[string]int64                // admission rejections by reason
 }
 
 // New builds a Server and starts its worker pool.
@@ -123,13 +161,21 @@ func New(opts Options) *Server {
 		clientCap:     opts.ClientInFlight,
 		cacheMax:      opts.CacheMaxBytes,
 		progressEvery: opts.ProgressInterval,
-		logf:          opts.Logf,
+		logger:        opts.Logger,
+		telemetry:     opts.Telemetry,
 		jobs:          map[string]*Job{},
 		inflight:      map[string]int{},
 		// 60 one-second buckets; sweeps that run longer land in +Inf.
 		latency:      stats.NewHistogram(60, 1),
 		statusCounts: map[Status]int64{},
 		rejects:      map[string]int64{},
+	}
+	//simlint:ignore rngsource daemon start timestamp, outside any simulation
+	s.started = time.Now()
+	for p := 0; p < int(numPriorities); p++ {
+		s.queueWait[p] = stats.NewHistogram(60, 1)
+		s.execTime[p] = stats.NewHistogram(60, 1)
+		s.totalTime[p] = stats.NewHistogram(60, 1)
 	}
 	if s.workers <= 0 {
 		s.workers = opts.Engine.Workers()
@@ -140,8 +186,11 @@ func New(opts Options) *Server {
 	if s.progressEvery <= 0 {
 		s.progressEvery = 500 * time.Millisecond
 	}
-	if s.logf == nil {
-		s.logf = func(string, ...any) {}
+	if s.logger == nil {
+		s.logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	if s.telemetry {
+		s.flight = telemetry.NewFlightRecorder(opts.FlightSize)
 	}
 	s.cond = sync.NewCond(&s.mu)
 	s.mux = http.NewServeMux()
@@ -150,9 +199,19 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /debug/jobs", s.handleDebugJobs)
+	s.mux.HandleFunc("GET /debug/status", s.handleDebugStatus)
+	if opts.EnablePprof {
+		s.mux.HandleFunc("GET /debug/pprof/", netpprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", netpprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", netpprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", netpprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", netpprof.Trace)
+	}
 	for i := 0; i < s.workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -191,6 +250,14 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	// The trace opens before decoding so http.receive covers the full
+	// request-side cost; it is discarded again on any rejection path.
+	var tr *telemetry.Trace
+	var recv *telemetry.Span
+	if s.telemetry {
+		tr = telemetry.New("job")
+		recv = tr.Root().Start("http.receive")
+	}
 	var req submitRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
@@ -212,10 +279,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if client == "" {
 		client = r.Header.Get("X-Delrep-Client")
 	}
+	specKey := runner.KeyHash(cfg, norm.GPU, norm.CPU)
+	recv.End()
 
+	adm := tr.Root().Start("admission")
 	s.mu.Lock()
 	if s.draining {
+		s.rejects["draining"]++
 		s.mu.Unlock()
+		s.logger.InfoContext(r.Context(), "submit rejected", "reason", "draining", "client", client, "spec_key", specKey)
 		writeError(w, http.StatusServiceUnavailable, "server is draining")
 		return
 	}
@@ -223,6 +295,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		retry := s.retryAfterLocked()
 		s.rejects["client_cap"]++
 		s.mu.Unlock()
+		s.logger.InfoContext(r.Context(), "submit rejected", "reason", "client_cap", "client", client, "spec_key", specKey)
 		w.Header().Set("Retry-After", strconv.Itoa(retry))
 		writeError(w, http.StatusTooManyRequests,
 			"client %q already has %d jobs in flight (cap %d)", client, s.clientCap, s.clientCap)
@@ -232,6 +305,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		retry := s.retryAfterLocked()
 		s.rejects["queue_full"]++
 		s.mu.Unlock()
+		s.logger.InfoContext(r.Context(), "submit rejected", "reason", "queue_full", "client", client, "spec_key", specKey)
 		w.Header().Set("Retry-After", strconv.Itoa(retry))
 		writeError(w, http.StatusTooManyRequests,
 			"job queue is full (%d queued)", s.queueDepth)
@@ -248,12 +322,23 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		prio:    prio,
 		spec:    norm,
 		cfg:     cfg,
+		specKey: specKey,
 		ctx:     ctx,
 		cancel:  cancel,
 		doneCh:  make(chan struct{}),
 		status:  StatusQueued,
 		created: created,
 		subs:    map[chan sseEvent]struct{}{},
+		trace:   tr,
+	}
+	j.log = s.logger.With("job", j.id, "client", client, "spec_key", specKey)
+	if tr != nil {
+		tr.Root().Set("job", j.id)
+		tr.Root().Set("client", client)
+		tr.Root().Set("spec_key", specKey)
+		tr.Root().Set("priority", prio.String())
+		adm.End()
+		j.spanQueue = tr.Root().Start("queue.wait")
 	}
 	s.jobs[j.id] = j
 	s.order = append(s.order, j)
@@ -263,8 +348,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	view := j.viewLocked()
 	s.cond.Signal()
 	s.mu.Unlock()
-	s.logf("job %s queued: %s+%s %s prio=%s client=%q",
-		j.id, norm.GPU, norm.CPU, norm.Scheme, prio, client)
+	j.log.InfoContext(r.Context(), "job queued",
+		"gpu", norm.GPU, "cpu", norm.CPU, "scheme", norm.Scheme, "priority", prio.String())
 
 	if r.URL.Query().Has("wait") {
 		select {
@@ -376,11 +461,16 @@ func (s *Server) finishQueuedLocked(j *Job, msg string) {
 	j.errMsg = msg
 	//simlint:ignore rngsource daemon job timestamp, outside any simulation
 	j.finished = time.Now()
+	j.spanQueue.End()
+	j.spanQueue = nil
 	s.queuedCount--
 	s.dropInflightLocked(j.client)
 	s.statusCounts[StatusCancelled]++
+	s.totalTime[j.prio].Add(j.finished.Sub(j.created).Seconds())
 	s.notifyLocked(j)
 	close(j.doneCh)
+	s.retireTrace(j, j.viewLocked(), StatusCancelled)
+	j.log.Info("job cancelled while queued", "reason", msg)
 }
 
 func (s *Server) dropInflightLocked(client string) {
@@ -425,6 +515,9 @@ func (s *Server) next() *Job {
 				j.status = StatusRunning
 				//simlint:ignore rngsource daemon job timestamp, outside any simulation
 				j.started = time.Now()
+				j.spanQueue.End()
+				j.spanQueue = nil
+				s.queueWait[j.prio].Add(j.started.Sub(j.created).Seconds())
 				s.runningCount++
 				s.notifyLocked(j)
 				return j
@@ -440,9 +533,15 @@ func (s *Server) next() *Job {
 // runJob executes one dispatched job on the engine and retires it.
 func (s *Server) runJob(j *Job) {
 	rspec := runner.Spec{Cfg: j.cfg, GPU: j.spec.GPU, CPU: j.spec.CPU}
+	var root *telemetry.Span
+	if j.trace != nil {
+		root = j.trace.Root()
+	}
+	submitSpan := root.Start("runner.submit")
+	runCtx := telemetry.ContextWithSpan(j.ctx, submitSpan)
 	var run runner.Run
 	for {
-		fut := s.eng.SubmitCtx(j.ctx, rspec)
+		fut := s.eng.SubmitCtx(runCtx, rspec)
 		s.mu.Lock()
 		j.fut = fut
 		s.mu.Unlock()
@@ -454,6 +553,8 @@ func (s *Server) runJob(j *Job) {
 		// between our submission and completion; this job is still
 		// wanted, so resubmit (the failed future has left the memo).
 	}
+	submitSpan.Set("source", run.Source.String())
+	submitSpan.End()
 
 	//simlint:ignore rngsource daemon job timestamp, outside any simulation
 	now := time.Now()
@@ -462,6 +563,8 @@ func (s *Server) runJob(j *Job) {
 	s.runningCount--
 	s.dropInflightLocked(j.client)
 	s.latency.Add(now.Sub(j.started).Seconds())
+	s.execTime[j.prio].Add(now.Sub(j.started).Seconds())
+	s.totalTime[j.prio].Add(now.Sub(j.created).Seconds())
 	switch {
 	case run.Err == nil:
 		j.run = run
@@ -474,19 +577,65 @@ func (s *Server) runJob(j *Job) {
 		j.errMsg = run.Err.Error()
 	}
 	s.statusCounts[j.status]++
+	// encode measures rendering the terminal job view — the bytes every
+	// poller and ?wait response will receive from here on.
+	if enc := root.Start("encode"); enc != nil {
+		if b, err := json.Marshal(j.viewLocked()); err == nil {
+			enc.Set("bytes", len(b))
+		}
+		enc.End()
+	}
+	reply := root.Start("reply")
 	s.notifyLocked(j)
 	close(j.doneCh)
+	reply.End()
 	status, errMsg := j.status, j.errMsg
+	view := j.viewLocked()
 	s.mu.Unlock()
 
+	s.retireTrace(j, view, status)
 	if errMsg != "" {
-		s.logf("job %s %s: %s (%.2fs)", j.id, status, errMsg, now.Sub(j.started).Seconds())
+		j.log.InfoContext(runCtx, "job finished", "status", status, "error", errMsg,
+			"seconds", now.Sub(j.started).Seconds())
 	} else {
-		s.logf("job %s %s: source=%s (%.2fs)", j.id, status, run.Source, now.Sub(j.started).Seconds())
+		j.log.InfoContext(runCtx, "job finished", "status", status, "source", run.Source.String(),
+			"seconds", now.Sub(j.started).Seconds())
 	}
 	if status == StatusDone && run.Source == runner.SourceExecuted {
 		s.maybePrune()
 	}
+}
+
+// retireTrace closes a finished job's trace and files its flight-
+// recorder entry. Callers may hold s.mu (lock order is s.mu →
+// trace.mu, never reversed); the job fields read here are immutable
+// once the job is terminal.
+func (s *Server) retireTrace(j *Job, view jobView, status Status) {
+	if j.trace == nil {
+		return
+	}
+	j.trace.Root().Set("outcome", string(status))
+	j.trace.End()
+	rec := telemetry.JobRecord{
+		ID:       j.id,
+		Client:   j.client,
+		Priority: j.prio.String(),
+		Spec:     fmt.Sprintf("%s+%s %s", j.spec.GPU, j.spec.CPU, j.spec.Scheme),
+		SpecKey:  j.specKey,
+		Outcome:  string(status),
+		Source:   view.Source,
+		Error:    view.Error,
+		Created:  j.created,
+		TotalUS:  j.finished.Sub(j.created).Microseconds(),
+		Trace:    j.trace.Snapshot(),
+	}
+	if !j.started.IsZero() {
+		rec.QueueUS = j.started.Sub(j.created).Microseconds()
+		rec.ExecUS = j.finished.Sub(j.started).Microseconds()
+	} else {
+		rec.QueueUS = rec.TotalUS // cancelled while queued
+	}
+	s.flight.Record(rec)
 }
 
 // maybePrune bounds the disk cache after an executed (cache-growing)
@@ -502,9 +651,36 @@ func (s *Server) maybePrune() {
 	defer s.pruneMu.Unlock()
 	removed, freed, err := cache.Prune(s.cacheMax)
 	if err != nil {
-		s.logf("cache prune: %v", err)
+		s.logger.Warn("cache prune failed", "error", err)
 	} else if removed > 0 {
-		s.logf("cache prune: removed %d entries (%d bytes) to stay under %d", removed, freed, s.cacheMax)
+		s.logger.Info("cache pruned",
+			"removed", removed, "freed_bytes", freed, "max_bytes", s.cacheMax)
+	}
+}
+
+// handleTrace exports a job's telemetry span tree. The default format
+// is Chrome trace-event JSON (load in chrome://tracing or Perfetto);
+// ?format=tree answers the nested SpanView rendering instead. An
+// unfinished job's open spans are snapshotted as running to "now".
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	j, ok := s.jobs[r.PathValue("id")]
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	if j.trace == nil {
+		writeError(w, http.StatusNotFound, "telemetry is disabled; start the daemon with -telemetry")
+		return
+	}
+	if r.URL.Query().Get("format") == "tree" {
+		writeJSON(w, http.StatusOK, j.trace.Snapshot())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := j.trace.WriteChrome(w); err != nil {
+		s.logger.WarnContext(r.Context(), "trace export failed", "job", j.id, "error", err)
 	}
 }
 

@@ -37,10 +37,12 @@ func (s *Server) subscribe(j *Job) (chan sseEvent, func()) {
 	ch := make(chan sseEvent, 8)
 	s.mu.Lock()
 	j.subs[ch] = struct{}{}
+	s.sseSubs++
 	s.mu.Unlock()
 	return ch, func() {
 		s.mu.Lock()
 		delete(j.subs, ch)
+		s.sseSubs--
 		s.mu.Unlock()
 	}
 }

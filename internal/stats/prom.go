@@ -15,21 +15,39 @@ func (h *Histogram) WriteProm(w io.Writer, name string) error {
 	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
 		return err
 	}
+	return h.WritePromLabeled(w, name, "")
+}
+
+// WritePromLabeled writes the histogram's samples with an extra label
+// set merged into every sample (for example `priority="high"`), and no
+// `# TYPE` header — the caller emits one TYPE line for the metric
+// family and then one WritePromLabeled call per label value, which is
+// how a family of per-class histograms shares a name. An empty labels
+// string degenerates to WriteProm's sample format.
+func (h *Histogram) WritePromLabeled(w io.Writer, name, labels string) error {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
 	var cum int64
 	for i, b := range h.buckets {
 		cum += b
-		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n",
-			name, float64(i+1)*h.width, cum); err != nil {
+		if _, err := fmt.Fprintf(w, "%s_bucket{%s%sle=\"%g\"} %d\n",
+			name, labels, sep, float64(i+1)*h.width, cum); err != nil {
 			return err
 		}
 	}
 	cum += h.overflow
-	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum); err != nil {
+	if _, err := fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, cum); err != nil {
 		return err
 	}
-	if _, err := fmt.Fprintf(w, "%s_sum %g\n", name, h.sampler.Sum()); err != nil {
+	brace := ""
+	if labels != "" {
+		brace = "{" + labels + "}"
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %g\n", name, brace, h.sampler.Sum()); err != nil {
 		return err
 	}
-	_, err := fmt.Fprintf(w, "%s_count %d\n", name, cum)
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, brace, cum)
 	return err
 }

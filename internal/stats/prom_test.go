@@ -27,6 +27,34 @@ job_seconds_count 5
 	}
 }
 
+func TestHistogramWritePromLabeled(t *testing.T) {
+	h := NewHistogram(2, 1)
+	h.Add(0.5)
+	h.Add(1.5)
+	var b strings.Builder
+	if err := h.WritePromLabeled(&b, "wait_seconds", `priority="high"`); err != nil {
+		t.Fatal(err)
+	}
+	want := `wait_seconds_bucket{priority="high",le="1"} 1
+wait_seconds_bucket{priority="high",le="2"} 2
+wait_seconds_bucket{priority="high",le="+Inf"} 2
+wait_seconds_sum{priority="high"} 2
+wait_seconds_count{priority="high"} 2
+`
+	if b.String() != want {
+		t.Fatalf("WritePromLabeled output:\n%s\nwant:\n%s", b.String(), want)
+	}
+	// Empty labels reproduce the unlabeled sample format.
+	var plain strings.Builder
+	if err := h.WritePromLabeled(&plain, "wait_seconds", ""); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plain.String(), `wait_seconds_bucket{le="1"} 1`) ||
+		!strings.Contains(plain.String(), "wait_seconds_count 2") {
+		t.Fatalf("unlabeled output:\n%s", plain.String())
+	}
+}
+
 func TestHistogramWritePromEmpty(t *testing.T) {
 	var b strings.Builder
 	if err := NewHistogram(2, 10).WriteProm(&b, "x"); err != nil {

@@ -1,0 +1,53 @@
+package telemetry
+
+import (
+	"io"
+
+	"delrep/internal/obs"
+)
+
+// WriteChrome exports the trace as Chrome trace-event JSON using the
+// shared encoder in internal/obs, so a job timeline and an in-sim
+// packet trace load into the same viewer. All spans land on one track
+// (tid 1); the viewer nests them by time containment. A nil trace
+// writes a valid empty document.
+func (t *Trace) WriteChrome(w io.Writer) error {
+	return WriteChromeView(w, t.Snapshot())
+}
+
+// WriteChromeView exports one snapshotted span tree as Chrome
+// trace-event JSON. The zero SpanView writes a valid empty document.
+func WriteChromeView(w io.Writer, v SpanView) error {
+	var evs []obs.Event
+	if v.Name != "" {
+		evs = append(evs, obs.Event{
+			Name: "thread_name", Phase: "M", PID: 0, TID: 1,
+			Args: map[string]any{"name": v.Name},
+		})
+		evs = appendSpanEvents(evs, v)
+	}
+	return obs.WriteChromeTrace(w, evs)
+}
+
+// appendSpanEvents renders one span and its subtree as "X" complete
+// events on track 1.
+func appendSpanEvents(evs []obs.Event, v SpanView) []obs.Event {
+	var args map[string]any
+	if len(v.Attrs) > 0 || v.Open {
+		args = make(map[string]any, len(v.Attrs)+1)
+		for k, val := range v.Attrs {
+			args[k] = val
+		}
+		if v.Open {
+			args["open"] = true
+		}
+	}
+	evs = append(evs, obs.Event{
+		Name: v.Name, Phase: "X", TS: v.StartUS, Dur: v.DurUS,
+		PID: 0, TID: 1, Cat: "job", Args: args,
+	})
+	for _, c := range v.Children {
+		evs = appendSpanEvents(evs, c)
+	}
+	return evs
+}

@@ -1,0 +1,96 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// JobRecord is one completed job's flight-recorder summary: identity,
+// outcome, cache provenance, the coarse latency split, and the full
+// span tree. It is the unit the analytic-surrogate work validates
+// against, so it carries everything needed to replay the comparison:
+// the spec key, the result source, and where the wall time went.
+type JobRecord struct {
+	ID       string    `json:"id"`
+	Client   string    `json:"client,omitempty"`
+	Priority string    `json:"priority"`
+	Spec     string    `json:"spec"`               // human label, e.g. "HS+vips delegated"
+	SpecKey  string    `json:"spec_key,omitempty"` // short content hash, correlates with cache entries
+	Outcome  string    `json:"outcome"`            // done | failed | cancelled
+	Source   string    `json:"source,omitempty"`   // executed | memo | disk
+	Error    string    `json:"error,omitempty"`
+	Created  time.Time `json:"created"`
+	QueueUS  int64     `json:"queue_us"` // admission → dispatch
+	ExecUS   int64     `json:"exec_us"`  // dispatch → terminal
+	TotalUS  int64     `json:"total_us"` // submit → terminal
+	Trace    SpanView  `json:"trace"`
+}
+
+// FlightRecorder retains the last N completed jobs in a fixed-size
+// ring — enough to answer "what just happened" on a live daemon
+// without logs or external storage. A nil *FlightRecorder is valid and
+// inert. Methods are safe for concurrent use.
+type FlightRecorder struct {
+	mu    sync.Mutex
+	ring  []JobRecord
+	next  int
+	count int
+	total int64
+}
+
+// NewFlightRecorder builds a recorder keeping the last n jobs (n <= 0
+// selects 128).
+func NewFlightRecorder(n int) *FlightRecorder {
+	if n <= 0 {
+		n = 128
+	}
+	return &FlightRecorder{ring: make([]JobRecord, n)}
+}
+
+// Record appends one completed job, evicting the oldest once full.
+func (f *FlightRecorder) Record(r JobRecord) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	f.ring[f.next] = r
+	f.next = (f.next + 1) % len(f.ring)
+	if f.count < len(f.ring) {
+		f.count++
+	}
+	f.total++
+	f.mu.Unlock()
+}
+
+// Snapshot returns the retained records, newest first.
+func (f *FlightRecorder) Snapshot() []JobRecord {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]JobRecord, 0, f.count)
+	for i := 1; i <= f.count; i++ {
+		out = append(out, f.ring[(f.next-i+len(f.ring))%len(f.ring)])
+	}
+	return out
+}
+
+// Total reports how many jobs have ever been recorded (including ones
+// the ring has since evicted).
+func (f *FlightRecorder) Total() int64 {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.total
+}
+
+// Cap returns the ring capacity (0 on a nil recorder).
+func (f *FlightRecorder) Cap() int {
+	if f == nil {
+		return 0
+	}
+	return len(f.ring)
+}

@@ -1,0 +1,249 @@
+// Package telemetry is the serving stack's span layer: a per-job tree
+// of wall-clock timed spans covering the job lifecycle —
+//
+//	http.receive → admission → queue.wait → runner.submit →
+//	{dedup.join | cache.lookup → engine.run[window…]} → encode → reply
+//
+// — recorded entirely outside the simulation clock. The simulator
+// never reads a span and a span never feeds a digest input, so traces
+// are inert by construction: enabling telemetry cannot perturb a
+// result (internal/serve's inertness test proves it bit-for-bit).
+//
+// The layer is zero-overhead when disabled: a nil *Trace and a nil
+// *Span are valid receivers whose every method is a no-op, so
+// instrumented code calls straight through without guards and the
+// disabled path costs a nil check.
+//
+// Span trees export as Chrome trace-event JSON via the shared encoder
+// in internal/obs, so a served job's timeline and its in-sim packet
+// trace open in the same viewer (Perfetto / chrome://tracing).
+package telemetry
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// MaxSpans bounds one trace's span count so a pathological job (a
+// 500M-cycle run reporting a window per checkpoint) cannot balloon the
+// flight recorder; once reached, Start returns nil and the trace
+// counts the drop.
+const MaxSpans = 512
+
+// Attr is one key/value annotation on a span.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// A builds an Attr.
+func A(key string, value any) Attr { return Attr{Key: key, Value: value} }
+
+// wallNow reads the wall clock for span timestamps. Telemetry time is
+// deliberately outside the simulation clock; spans never feed
+// simulated behaviour or digest inputs.
+func wallNow() time.Time {
+	//simlint:ignore rngsource span timestamps are wall-clock by design and never reach the simulation or its digests
+	return time.Now()
+}
+
+// Trace is one job's span tree. The zero of *Trace (nil) is a valid,
+// disabled trace: every method no-ops and Start returns a nil Span.
+// All methods are safe for concurrent use.
+type Trace struct {
+	mu      sync.Mutex
+	now     func() time.Time
+	root    *Span
+	spans   int
+	dropped int64
+}
+
+// New starts a trace whose root span has the given name and attrs.
+func New(name string, attrs ...Attr) *Trace {
+	t := &Trace{now: wallNow}
+	t.root = &Span{trace: t, name: name, start: t.now(), attrs: attrs}
+	t.spans = 1
+	return t
+}
+
+// SetClock overrides the trace's clock; for tests only. It must be
+// called before any further spans start.
+func (t *Trace) SetClock(now func() time.Time) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.now = now
+	t.mu.Unlock()
+}
+
+// Root returns the root span (nil on a disabled trace).
+func (t *Trace) Root() *Span {
+	if t == nil {
+		return nil
+	}
+	return t.root
+}
+
+// End ends the root span (child spans still open keep their own
+// endpoints; an unfinished child exports with its parent's end).
+func (t *Trace) End() { t.Root().End() }
+
+// Dropped reports how many Start calls the span cap swallowed.
+func (t *Trace) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Span is one timed phase of a trace. A nil *Span is valid and inert.
+type Span struct {
+	trace    *Trace
+	name     string
+	start    time.Time
+	end      time.Time // zero while open
+	attrs    []Attr
+	children []*Span
+}
+
+// Start opens a child span. On a nil span (telemetry disabled, or the
+// trace hit its span cap) it returns nil, which is itself inert.
+func (s *Span) Start(name string, attrs ...Attr) *Span {
+	if s == nil {
+		return nil
+	}
+	t := s.trace
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.spans >= MaxSpans {
+		t.dropped++
+		return nil
+	}
+	child := &Span{trace: t, name: name, start: t.now(), attrs: attrs}
+	s.children = append(s.children, child)
+	t.spans++
+	return child
+}
+
+// Set attaches (or overwrites) one attribute on the span.
+func (s *Span) Set(key string, value any) {
+	if s == nil {
+		return
+	}
+	t := s.trace
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i := range s.attrs {
+		if s.attrs[i].Key == key {
+			s.attrs[i].Value = value
+			return
+		}
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+}
+
+// End closes the span. Ending a span twice keeps the first endpoint.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	t := s.trace
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if s.end.IsZero() {
+		s.end = t.now()
+	}
+}
+
+// SpanView is the immutable JSON rendering of one span. Times are
+// microseconds relative to the trace's start, so views are stable
+// across snapshots of a finished trace.
+type SpanView struct {
+	Name     string         `json:"name"`
+	StartUS  int64          `json:"start_us"`
+	DurUS    int64          `json:"dur_us"`
+	Open     bool           `json:"open,omitempty"` // still running at snapshot time
+	Attrs    map[string]any `json:"attrs,omitempty"`
+	Children []SpanView     `json:"children,omitempty"`
+}
+
+// Snapshot renders the trace's current span tree. Spans still open are
+// rendered as ending now and marked Open. Safe to call while spans are
+// being recorded.
+func (t *Trace) Snapshot() SpanView {
+	if t == nil {
+		return SpanView{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := t.now()
+	return t.root.viewLocked(t.root.start, now)
+}
+
+// viewLocked renders one span relative to the trace origin; the trace
+// mutex must be held.
+func (s *Span) viewLocked(origin, now time.Time) SpanView {
+	end, open := s.end, false
+	if end.IsZero() {
+		end, open = now, true
+	}
+	v := SpanView{
+		Name:    s.name,
+		StartUS: s.start.Sub(origin).Microseconds(),
+		DurUS:   end.Sub(s.start).Microseconds(),
+		Open:    open,
+	}
+	if v.DurUS < 0 {
+		v.DurUS = 0
+	}
+	if len(s.attrs) > 0 {
+		v.Attrs = make(map[string]any, len(s.attrs))
+		for _, a := range s.attrs {
+			v.Attrs[a.Key] = a.Value
+		}
+	}
+	for _, c := range s.children {
+		v.Children = append(v.Children, c.viewLocked(origin, now))
+	}
+	return v
+}
+
+// Find returns the first span view with the given name in a pre-order
+// walk of the tree, or ok=false. A convenience for tests and the
+// flight recorder's summaries.
+func (v SpanView) Find(name string) (SpanView, bool) {
+	if v.Name == name {
+		return v, true
+	}
+	for _, c := range v.Children {
+		if got, ok := c.Find(name); ok {
+			return got, true
+		}
+	}
+	return SpanView{}, false
+}
+
+// ctxKey keys the span carried by a context.
+type ctxKey struct{}
+
+// ContextWithSpan returns a context carrying the span; layers below
+// (the runner engine) pick it up to attach their own child spans.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, s)
+}
+
+// SpanFromContext returns the span carried by ctx, or nil (inert).
+func SpanFromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	s, _ := ctx.Value(ctxKey{}).(*Span)
+	return s
+}
