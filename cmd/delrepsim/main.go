@@ -18,6 +18,11 @@
 // a spec can be replayed locally to verify a served result. -json
 // prints the canonical simspec.Result (spec, results, determinism
 // digest), byte-comparable with the daemon's "result" field.
+//
+// With -parallel N, the single run ticks its networks tile-parallel on
+// N workers (see DESIGN.md §11). Results and digests are bit-identical
+// at every N, so -parallel composes with -json verification: the same
+// spec run at different worker counts prints the same bytes.
 package main
 
 import (
@@ -50,6 +55,7 @@ func main() {
 		warm     = flag.Int64("warm", 20000, "warmup cycles")
 		cycles   = flag.Int64("cycles", 60000, "measured cycles")
 		seed     = flag.Int64("seed", 1, "random seed")
+		parallel = flag.Int("parallel", 0, "tile the NoC tick across this many workers (results are bit-identical at any value; 0/1 = serial)")
 		list     = flag.Bool("list", false, "list benchmarks and exit")
 		heatmap  = flag.Bool("heatmap", false, "print link-utilization heatmaps (mesh only)")
 		vcdepth  = flag.Int("vcdepth", 0, "override VC buffer depth in flits")
@@ -142,7 +148,13 @@ func main() {
 			GPU: *gpuBench, CPU: *cpuBench, Scheme: *scheme, Layout: *layout,
 			Topo: *topo, Routing: *routing, L1Org: *org, ChannelBytes: *channel,
 			VCDepth: *vcdepth, Warmup: *warm, Cycles: *cycles, Seed: *seed,
+			Parallel: *parallel,
 		}
+	}
+	if *parallel > 0 {
+		// The flag wins over a spec file's hint; both are pure
+		// execution hints, so the override cannot change results.
+		spec.Parallel = *parallel
 	}
 	// The phase trace is wall-clock instrumentation of the CLI itself —
 	// the same span layer the daemon uses per job — and never touches
@@ -161,6 +173,14 @@ func main() {
 
 	buildSpan := tr.Root().Start("build")
 	sys := core.NewSystem(cfg, norm.GPU, norm.CPU)
+	if spec.Parallel > 1 {
+		// Resolve stripped the hint from norm (execution hints are not
+		// run identity), so read it from the submitted spec. Attaching
+		// an observer below silently drops back to serial — its trace
+		// hooks run inside the compute phase.
+		sys.SetParallel(spec.Parallel)
+		defer sys.Close()
+	}
 	var observer *obs.Observer
 	if *metricsOut != "" || *traceOut != "" || *clogFlag {
 		sample := uint64(0)

@@ -7,7 +7,11 @@
 //
 // Usage:
 //
-//	digestdump [-seeds 1,7,99] [-warm 200] [-cycles 450]
+//	digestdump [-seeds 1,7,99] [-warm 200] [-cycles 450] [-parallel N]
+//
+// -parallel ticks every run tile-parallel on N workers; the output
+// must be byte-identical to a serial dump (diff the two to certify the
+// two-phase tick after touching internal/noc).
 package main
 
 import (
@@ -22,9 +26,10 @@ import (
 
 func main() {
 	var (
-		seeds  = flag.String("seeds", "1,7,99", "comma-separated seeds")
-		warm   = flag.Int64("warm", 200, "warmup cycles")
-		cycles = flag.Int64("cycles", 450, "measured cycles")
+		seeds    = flag.String("seeds", "1,7,99", "comma-separated seeds")
+		warm     = flag.Int64("warm", 200, "warmup cycles")
+		cycles   = flag.Int64("cycles", 450, "measured cycles")
+		parallel = flag.Int("parallel", 0, "tile workers per run (output must match a serial dump byte for byte)")
 	)
 	flag.Parse()
 
@@ -53,7 +58,10 @@ func main() {
 				cfg.WarmupCycles = *warm
 				cfg.MeasureCycles = *cycles
 				cfg.GPU.KernelCycles = 300
-				a := core.RunAudit(cfg, "NN", "vips")
+				a, err := core.RunAuditCtrl(core.RunControl{Parallel: *parallel}, cfg, "NN", "vips")
+				if err != nil {
+					panic(err)
+				}
 				fmt.Printf("seed=%-3d %-10v %-10v cycles=%-6d digest=%#016x\n",
 					seed, scheme, topo, a.Cycles, a.Digest)
 			}
@@ -69,7 +77,10 @@ func main() {
 			cfg.GPU.KernelCycles = 300
 			cfg.GPU.Org = org
 			cfg.GPU.DynEBEpoch = 256
-			a := core.RunAudit(cfg, "2DCON", "dedup")
+			a, err := core.RunAuditCtrl(core.RunControl{Parallel: *parallel}, cfg, "2DCON", "dedup")
+			if err != nil {
+				panic(err)
+			}
 			fmt.Printf("seed=%-3d %-10v %-10v cycles=%-6d digest=%#016x\n",
 				seed, config.SchemeDelegatedReplies, org, a.Cycles, a.Digest)
 		}

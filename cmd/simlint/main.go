@@ -43,6 +43,7 @@ import (
 	"delrep/internal/lint/lockorder"
 	"delrep/internal/lint/mapiter"
 	"delrep/internal/lint/rngsource"
+	"delrep/internal/lint/stagecommit"
 	"delrep/internal/lint/statsdiscipline"
 	"delrep/internal/lint/tickpurity"
 )
@@ -55,6 +56,7 @@ var analyzers = []*analysis.Analyzer{
 	lockorder.Analyzer,
 	mapiter.Analyzer,
 	rngsource.Analyzer,
+	stagecommit.Analyzer,
 	statsdiscipline.Analyzer,
 	tickpurity.Analyzer,
 }

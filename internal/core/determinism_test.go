@@ -56,6 +56,48 @@ func TestDeterminismAudit(t *testing.T) {
 	}
 }
 
+// TestDeterminismAuditParallel runs the same scheme × topology matrix
+// tile-parallel at several worker counts and requires the digest to be
+// bit-identical to the serial run — the acceptance bar for the
+// two-phase tick (DESIGN.md §11). Crossbar is included deliberately:
+// its single router forces the partition back to serial, and that
+// fallback must be digest-inert too.
+func TestDeterminismAuditParallel(t *testing.T) {
+	schemes := []config.Scheme{
+		config.SchemeBaseline,
+		config.SchemeDelegatedReplies,
+		config.SchemeRP,
+	}
+	topologies := []config.Topology{
+		config.TopoMesh,
+		config.TopoCrossbar,
+		config.TopoFlattenedButterfly,
+		config.TopoDragonfly,
+	}
+	for _, scheme := range schemes {
+		for _, topo := range topologies {
+			name := fmt.Sprintf("%v/%v", scheme, topo)
+			t.Run(name, func(t *testing.T) {
+				cfg := auditConfig(scheme, topo)
+				base := RunAudit(cfg, "NN", "vips")
+				for _, workers := range []int{2, 4} {
+					a, err := RunAuditCtrl(RunControl{Parallel: workers}, cfg, "NN", "vips")
+					if err != nil {
+						t.Fatal(err)
+					}
+					if a.Cycles != base.Cycles || a.Digest != base.Digest {
+						t.Fatalf("parallel N=%d diverged from serial: (%d, %#x) vs (%d, %#x)",
+							workers, a.Cycles, a.Digest, base.Cycles, base.Digest)
+					}
+					if a.Results != base.Results {
+						t.Fatalf("parallel N=%d results diverged from serial", workers)
+					}
+				}
+			})
+		}
+	}
+}
+
 // TestDeterminismAuditSharedL1 covers the cluster organisations, whose
 // stats reset path was added by the audit (shared slices + DynEB mode
 // controller are extra state that must replay identically).

@@ -75,9 +75,9 @@ func (s *System) StatsDigest() uint64 {
 
 func (s *System) digestNet(d *stats.Digest, n *noc.Network) {
 	d.String(n.Label)
-	for c := 0; c < len(n.InjFlits); c++ {
-		d.Int64(n.InjFlits[c])
-		d.Int64(n.EjFlits[c])
+	for _, c := range []noc.Class{noc.ClassRequest, noc.ClassReply} {
+		d.Int64(n.InjectedFlits(c))
+		d.Int64(n.EjectedFlits(c))
 	}
 	for p := range n.PktLat {
 		d.Sampler(&n.PktLat[p])

@@ -2,9 +2,13 @@
 // controllers and the two NoC networks into one cycle-driven System
 // and steps them in a fixed intra-cycle order. A System is fully
 // deterministic per (Config, workload, seed) — same inputs, same
-// StatsDigest — and is single-threaded by construction: one goroutine
-// owns a System for its whole lifetime, and parallel experiments run
-// distinct Systems (see internal/runner). RunAudit is the entry point
-// that packages a run's Results together with the digest used by the
-// determinism audit and the on-disk result cache.
+// StatsDigest — regardless of how it executes: one goroutine owns a
+// System for its whole lifetime, parallel experiments run distinct
+// Systems (see internal/runner), and SetParallel may additionally
+// tile a single System's network tick across a worker pool without
+// moving a bit of the digest (see internal/noc/tile.go and DESIGN.md
+// §11). RunAudit is the entry point that packages a run's Results
+// together with the digest used by the determinism audit and the
+// on-disk result cache; RunAuditCtrl adds cancellation and the
+// parallelism hint.
 package core

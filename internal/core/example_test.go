@@ -1,0 +1,34 @@
+package core_test
+
+import (
+	"fmt"
+
+	"delrep/internal/config"
+	"delrep/internal/core"
+)
+
+// ExampleSystem_SetParallel runs one configuration serially and then
+// tile-parallel, and compares the end-state digests. Parallelism is a
+// pure execution strategy (DESIGN.md §11): the two-phase tick commits
+// cross-tile events in a fixed order, so the digest — a hash of every
+// counter, queue, and latency sampler — is bit-identical at any worker
+// count, and callers may pick N purely for wall-clock time.
+func ExampleSystem_SetParallel() {
+	cfg := config.Default()
+	cfg.Scheme = config.SchemeDelegatedReplies
+	cfg.WarmupCycles, cfg.MeasureCycles = 300, 800 // example-sized windows
+
+	serial := core.NewSystem(cfg, "HS", "vips")
+	serial.RunWorkload()
+
+	tiled := core.NewSystem(cfg, "HS", "vips")
+	tiled.SetParallel(4) // must precede the first cycle
+	defer tiled.Close()  // release the worker pool
+	tiled.RunWorkload()
+
+	fmt.Printf("tiled across %d workers\n", tiled.Parallel())
+	fmt.Printf("digests identical: %v\n", serial.StatsDigest() == tiled.StatsDigest())
+	// Output:
+	// tiled across 4 workers
+	// digests identical: true
+}

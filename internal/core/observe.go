@@ -16,6 +16,13 @@ import (
 // this).
 func (s *System) AttachObserver(o *obs.Observer) {
 	s.obs = o
+	// Trace hooks dereference packets inside the network tick, which in
+	// tiled mode is the concurrent compute phase; an observed run
+	// therefore drops to serial ticking. Digest-inert: parallelism
+	// never changes results, only wall time.
+	if s.parallel > 1 {
+		s.SetParallel(1)
+	}
 	o.Describe = describePayload
 	s.ReqNet.TraceSink = o.PacketCompleted
 	if s.RepNet != s.ReqNet {
@@ -60,9 +67,9 @@ func (s *System) registerNetProbes(o *obs.Observer) {
 		for _, cls := range []noc.Class{noc.ClassRequest, noc.ClassReply} {
 			cls := cls
 			o.Reg.Rate(fmt.Sprintf("%s/inj_flits/%s", n.name, cls),
-				func() float64 { return float64(net.InjFlits[cls]) })
+				func() float64 { return float64(net.InjectedFlits(cls)) })
 			o.Reg.Rate(fmt.Sprintf("%s/ej_flits/%s", n.name, cls),
-				func() float64 { return float64(net.EjFlits[cls]) })
+				func() float64 { return float64(net.EjectedFlits(cls)) })
 		}
 	}
 }

@@ -1,0 +1,64 @@
+package core
+
+import "delrep/internal/noc"
+
+// SetParallel configures deterministic intra-run parallelism: both
+// networks are tile-partitioned across a persistent worker pool of up
+// to `workers` workers (capped at the router count — a crossbar run
+// stays serial). Results and StatsDigest are bit-identical to serial
+// execution at every worker count; see internal/noc/tile.go and
+// DESIGN.md §11 for the argument.
+//
+// It must be called after NewSystem and before the first Tick.
+// workers <= 1 (or a no-op partition) restores serial ticking. An
+// attached observer forces serial execution: its trace hooks read
+// packets inside what would be the concurrent compute phase, and
+// since parallelism never changes results, dropping to serial is
+// observable only in wall time.
+//
+// A System with parallelism configured owns n-1 worker goroutines;
+// call Close when done with it.
+func (s *System) SetParallel(workers int) {
+	if s.cycle != 0 {
+		panic("core: SetParallel after the first tick")
+	}
+	if s.obs != nil {
+		workers = 1
+	}
+	eff := workers
+	if r := len(s.ReqNet.Routers); eff > r {
+		eff = r
+	}
+	s.Close()
+	s.parallel = 1
+	if eff <= 1 {
+		s.ReqNet.SetParallel(nil, 1)
+		if s.RepNet != s.ReqNet {
+			s.RepNet.SetParallel(nil, 1)
+		}
+		return
+	}
+	s.netPool = noc.NewPool(eff)
+	s.parallel = eff
+	s.ReqNet.SetParallel(s.netPool, eff)
+	if s.RepNet != s.ReqNet {
+		s.RepNet.SetParallel(s.netPool, eff)
+	}
+}
+
+// Parallel returns the effective worker count (1 when serial).
+func (s *System) Parallel() int {
+	if s.parallel < 1 {
+		return 1
+	}
+	return s.parallel
+}
+
+// Close releases the tile worker pool, if any. Idempotent; a serial
+// System never needs it.
+func (s *System) Close() {
+	if s.netPool != nil {
+		s.netPool.Close()
+		s.netPool = nil
+	}
+}

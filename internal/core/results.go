@@ -181,8 +181,8 @@ func (s *System) Collect() Results {
 	r.MemBlockedRate = float64(blocked) / float64(cycles*int64(len(s.Mems)))
 	r.LLCHitRate = stats.Ratio(llcHits, llcReq)
 	r.MemReplyLinkUtil = s.memReplyLinkUtil()
-	r.ReqFlits = s.ReqNet.InjFlits[noc.ClassRequest]
-	r.RepFlits = s.RepNet.InjFlits[noc.ClassReply]
+	r.ReqFlits = s.ReqNet.InjectedFlits(noc.ClassRequest)
+	r.RepFlits = s.RepNet.InjectedFlits(noc.ClassReply)
 	r.FlitHops = s.ReqNet.FlitHops()
 	if s.RepNet != s.ReqNet {
 		r.FlitHops += s.RepNet.FlitHops()

@@ -28,6 +28,12 @@ type RunControl struct {
 	// cycles simulated so far and the total cycles of the run
 	// (warm-up + measurement). It must not mutate simulation state.
 	OnProgress func(done, total int64)
+	// Parallel, when > 1, tile-partitions the networks across that many
+	// workers (System.SetParallel). Results are bit-identical at any
+	// value, so it is an execution hint, not part of the run's identity.
+	// Checkpoints sit between ticks either way, so cancellation and
+	// progress stay window-aligned.
+	Parallel int
 }
 
 // RunWorkloadCtx runs the configured warm-up and measurement windows
@@ -77,6 +83,10 @@ func (s *System) RunWorkloadCtx(rc RunControl) (Results, error) {
 // digest, results). A cancelled run returns the context's error.
 func RunAuditCtrl(rc RunControl, cfg config.Config, gpuBench, cpuBench string) (AuditRun, error) {
 	sys := NewSystem(cfg, gpuBench, cpuBench)
+	if rc.Parallel > 1 {
+		sys.SetParallel(rc.Parallel)
+		defer sys.Close()
+	}
 	res, err := sys.RunWorkloadCtx(rc)
 	if err != nil {
 		return AuditRun{}, err

@@ -65,6 +65,11 @@ type System struct {
 	// AttachObserver). Strictly measurement-only.
 	obs *obs.Observer
 
+	// netPool drives tile-parallel network ticking; nil when serial
+	// (see SetParallel in parallel.go).
+	netPool  *noc.Pool
+	parallel int
+
 	nextFlush int64
 }
 

@@ -1,0 +1,54 @@
+package fifo
+
+import "testing"
+
+func TestStashPushItemsReset(t *testing.T) {
+	var s Stash[int]
+	if s.Len() != 0 || len(s.Items()) != 0 {
+		t.Fatalf("zero-value stash not empty: len=%d", s.Len())
+	}
+	for i := 0; i < 5; i++ {
+		s.Push(i * 10)
+	}
+	if s.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", s.Len())
+	}
+	for i, v := range s.Items() {
+		if v != i*10 {
+			t.Fatalf("Items()[%d] = %d, want %d (push order must be preserved)", i, v, i*10)
+		}
+	}
+	s.Reset()
+	if s.Len() != 0 {
+		t.Fatalf("Len after Reset = %d, want 0", s.Len())
+	}
+}
+
+func TestStashResetZeroesSlots(t *testing.T) {
+	var s Stash[*int]
+	v := 42
+	s.Push(&v)
+	buf := s.buf[:1]
+	s.Reset()
+	if buf[0] != nil {
+		t.Fatal("Reset must zero vacated slots so stashed pointers are not pinned")
+	}
+}
+
+func TestStashSteadyStateAllocFree(t *testing.T) {
+	var s Stash[int]
+	// Warm up to the high-water mark.
+	for i := 0; i < 64; i++ {
+		s.Push(i)
+	}
+	s.Reset()
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 64; i++ {
+			s.Push(i)
+		}
+		s.Reset()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Push/Reset allocated %.1f times per cycle, want 0", allocs)
+	}
+}

@@ -1,0 +1,179 @@
+// Package stagecommit flags `for … range` over a map in any function
+// that touches a cross-tile staging buffer (fifo.Stash, or a struct
+// holding one directly, like noc's stageBuf). The staging buffers are
+// how tile-parallel ticking moves events between workers; the order a
+// drain/commit/fold loop visits them IS the inter-thread event order,
+// so a map walk there breaks bit-identical tiled runs the same way it
+// breaks same-seed serial runs — except only under -parallel, where
+// the matching serial run hides it.
+//
+// The hotpath-based mapiter analyzer cannot cover this code: tile
+// worker bodies are invoked through a prebound function-value field
+// (Network.sectionFn), an edge its static call graph never sees. This
+// analyzer instead roots at the staging buffers themselves: any
+// function whose body mentions a Stash-bearing value, plus everything
+// it calls, must iterate slices.
+package stagecommit
+
+import (
+	"go/ast"
+	"go/types"
+
+	"delrep/internal/lint/analysis"
+	"delrep/internal/lint/hotpath"
+)
+
+// fifoPath is the import path of the staging-buffer type.
+const fifoPath = "delrep/internal/fifo"
+
+// Analyzer flags nondeterministic map iteration in staged-commit code.
+var Analyzer = &analysis.Analyzer{
+	Name: "stagecommit",
+	Doc: "flag range-over-map in functions that touch cross-tile " +
+		"staging buffers (fifo.Stash): staging drain/commit order is " +
+		"inter-thread event order, so a map walk there breaks " +
+		"bit-identical tiled runs",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Name == nil {
+				continue
+			}
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				decls[fn] = fd
+			}
+		}
+	}
+
+	// Roots: functions whose body mentions a Stash-bearing expression.
+	// Edges: intra-package, any reference to a package function counts
+	// as a call (same conservative rule as the hotpath analyzers).
+	roots := map[*types.Func]bool{}
+	edges := map[*types.Func][]*types.Func{}
+	for fn, fd := range decls {
+		if fd.Body == nil {
+			continue
+		}
+		seen := map[*types.Func]bool{}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			expr, ok := n.(ast.Expr)
+			if ok {
+				if t := pass.TypesInfo.TypeOf(expr); t != nil && touchesStash(t) {
+					roots[fn] = true
+				}
+			}
+			var callee *types.Func
+			switch n := n.(type) {
+			case *ast.Ident:
+				callee, _ = pass.TypesInfo.Uses[n].(*types.Func)
+			case *ast.SelectorExpr:
+				callee, _ = pass.TypesInfo.Uses[n.Sel].(*types.Func)
+			}
+			if callee != nil {
+				if _, local := decls[callee]; local && !seen[callee] {
+					seen[callee] = true
+					edges[fn] = append(edges[fn], callee)
+				}
+			}
+			return true
+		})
+	}
+
+	// BFS from the roots, remembering which staging-touching function
+	// reached each one (for the diagnostic).
+	reach := map[*types.Func]*types.Func{}
+	var queue []*types.Func
+	for fn := range roots {
+		reach[fn] = fn
+		queue = append(queue, fn)
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		for _, callee := range edges[fn] {
+			if _, ok := reach[callee]; ok {
+				continue
+			}
+			reach[callee] = reach[fn]
+			queue = append(queue, callee)
+		}
+	}
+
+	for fn, root := range reach {
+		fd := decls[fn]
+		if fd == nil || fd.Body == nil {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypesInfo.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); isMap {
+				pass.Reportf(rs.For,
+					"range over map %s in staged-commit code (%s is reachable from %s, which touches a fifo.Stash staging buffer): map order would become inter-thread event order",
+					types.TypeString(t, types.RelativeTo(pass.Pkg)),
+					hotpath.Describe(fn), hotpath.Describe(root))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// touchesStash reports whether t is a fifo.Stash, a struct with a
+// direct Stash field (the stageBuf pattern), or a pointer/slice/array
+// of either. The check is deliberately shallow: recursing through
+// arbitrary struct fields would taint every function holding a
+// *Network and drown the signal.
+func touchesStash(t types.Type) bool {
+	t = stripElem(t)
+	if isStash(t) {
+		return true
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if isStash(stripElem(st.Field(i).Type())) {
+			return true
+		}
+	}
+	return false
+}
+
+// stripElem unwraps pointers, slices, and arrays down to the element.
+func stripElem(t types.Type) types.Type {
+	for {
+		switch u := t.Underlying().(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Slice:
+			t = u.Elem()
+		case *types.Array:
+			t = u.Elem()
+		default:
+			return t
+		}
+	}
+}
+
+// isStash reports whether t is (an instantiation of) fifo.Stash.
+func isStash(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == fifoPath && obj.Name() == "Stash"
+}

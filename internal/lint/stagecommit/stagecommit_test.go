@@ -1,0 +1,12 @@
+package stagecommit_test
+
+import (
+	"testing"
+
+	"delrep/internal/lint/analysis/analysistest"
+	"delrep/internal/lint/stagecommit"
+)
+
+func TestStageCommit(t *testing.T) {
+	analysistest.Run(t, "testdata", stagecommit.Analyzer, "stagecommit")
+}

@@ -52,12 +52,21 @@ type Network struct {
 	ring [][]event
 	now  int64
 
-	// Activity counters maintained by the hot path: buffered flits
-	// across all router input rings, and in-flight flit events in the
-	// delay ring. Quiet derives from these in O(#NIs) instead of
-	// rescanning every buffer.
-	bufFlits int
-	flyFlits int
+	// ctr is the canonical statistics block: activity counters
+	// (buffered flits across all router input rings, in-flight flit
+	// events in the delay rings — Quiet derives from these in O(#NIs)
+	// instead of rescanning every buffer) plus the measurement
+	// counters. Routers and NIs update it through a pointer; in tiled
+	// mode that pointer aims at a per-tile delta instead, folded back
+	// here each cycle (see tile.go).
+	ctr netCounters
+
+	// Tile-parallel ticking state; nil/empty when serial (see tile.go).
+	pool      *Pool
+	tiles     []*tile
+	tileOf    []int         // router -> owning tile
+	stage     [2][]stageBuf // cross-tile staging, double-buffered by cycle parity
+	sectionFn func(int)     // prebound compute-phase fan-out body
 
 	// DebugChecks enables the slow cross-checks: Quiet and
 	// CheckCreditInvariant re-derive the activity counters by full
@@ -70,12 +79,12 @@ type Network struct {
 	// on simulated state.
 	TraceSink func(*Packet)
 
-	// Statistics (reset at the end of warmup).
-	InjFlits [2]int64 // per class
-	EjFlits  [2]int64
+	// Statistics (reset at the end of warmup). The flit counters live
+	// in ctr; PktLat stays here because float samplers are
+	// order-sensitive and only ever updated from the serial commit
+	// phase (tickEject).
 	PktLat   [3]stats.Sampler // per priority
-	flitHops int64
-	measured int64 // cycles since last ResetStats
+	measured int64            // cycles since last ResetStats
 }
 
 // Params bundles the NI buffer capacities used at construction.
@@ -137,7 +146,7 @@ func NewNetwork(label string, topo Topology, cfg config.NoC, nodes int, p Params
 			injCap[ClassReply] = p.InjCapMem
 		}
 		ni := &NI{
-			net: n, Node: node, router: r, port: port,
+			net: n, ctr: &n.ctr, Node: node, router: r, port: port,
 			injCap: injCap,
 			ejBuf:  make([]fifo.Ring[Flit], numVCs),
 			asmCap: p.AsmCap,
@@ -185,15 +194,22 @@ func (n *Network) schedule(delay int, ev event) {
 		delay = 1
 	}
 	if ev.kind == evFlit {
-		n.flyFlits++
+		n.ctr.flyFlits++
 	}
 	slot := (n.now + int64(delay)) % int64(len(n.ring))
 	n.ring[slot] = append(n.ring[slot], ev)
 }
 
 // Tick advances the network one cycle. Only active components run:
-// see the Network doc comment for the exactness argument.
+// see the Network doc comment for the exactness argument. With a tile
+// partition configured (SetParallel) the cycle runs compute/commit
+// phased across the worker pool instead — bit-identical results
+// either way (see tile.go).
 func (n *Network) Tick() {
+	if n.tiles != nil {
+		n.tickTiled()
+		return
+	}
 	n.now++
 	n.measured++
 	slot := n.now % int64(len(n.ring))
@@ -202,7 +218,7 @@ func (n *Network) Tick() {
 		r := n.Routers[ev.router]
 		switch ev.kind {
 		case evFlit:
-			n.flyFlits--
+			n.ctr.flyFlits--
 			r.acceptFlit(ev.port, ev.vc, ev.flit)
 		case evCredit:
 			r.out[ev.port].credits[ev.vc]++
@@ -218,7 +234,7 @@ func (n *Network) Tick() {
 		for _, r := range n.Routers {
 			r.tick()
 		}
-	} else if n.bufFlits > 0 {
+	} else if n.ctr.bufFlits > 0 {
 		for _, r := range n.Routers {
 			if r.buffered > 0 {
 				r.tick()
@@ -235,12 +251,15 @@ func (n *Network) Tick() {
 // ResetStats zeroes all measurement counters (end of warmup) without
 // disturbing in-flight traffic.
 func (n *Network) ResetStats() {
-	n.InjFlits = [2]int64{}
-	n.EjFlits = [2]int64{}
+	// Tile deltas are folded into ctr every cycle, so between cycles —
+	// the only place ResetStats is called — the canonical block is the
+	// whole truth and the deltas are structurally zero.
+	n.ctr.injFlits = [2]int64{}
+	n.ctr.ejFlits = [2]int64{}
 	for i := range n.PktLat {
 		n.PktLat[i].Reset()
 	}
-	n.flitHops = 0
+	n.ctr.flitHops = 0
 	n.measured = 0
 	for _, r := range n.Routers {
 		for p := range r.out {
@@ -256,7 +275,15 @@ func (n *Network) ResetStats() {
 
 // FlitHops returns total flit-hop traversals since the last reset
 // (the activity factor for the energy model).
-func (n *Network) FlitHops() int64 { return n.flitHops }
+func (n *Network) FlitHops() int64 { return n.ctr.flitHops }
+
+// InjectedFlits returns flits injected for a traffic class since the
+// last ResetStats.
+func (n *Network) InjectedFlits(c Class) int64 { return n.ctr.injFlits[c] }
+
+// EjectedFlits returns flits ejected for a traffic class since the
+// last ResetStats.
+func (n *Network) EjectedFlits(c Class) int64 { return n.ctr.ejFlits[c] }
 
 // MeasuredCycles returns cycles since the last ResetStats.
 func (n *Network) MeasuredCycles() int64 { return n.measured }
@@ -291,7 +318,7 @@ func (n *Network) PortSent(r, port int) int64 {
 // counters; with DebugChecks set it also performs the historical full
 // scan and panics if the two disagree.
 func (n *Network) Quiet() bool {
-	quiet := n.bufFlits == 0 && n.flyFlits == 0
+	quiet := n.ctr.bufFlits == 0 && n.ctr.flyFlits == 0
 	if quiet {
 		for _, ni := range n.NIs {
 			if ni.injActive() || ni.ejActive() {
@@ -303,7 +330,7 @@ func (n *Network) Quiet() bool {
 	if n.DebugChecks {
 		if scan := n.quietScan(); scan != quiet {
 			panic(fmt.Sprintf("noc: Quiet counter/scan divergence: counters=%v scan=%v (bufFlits=%d flyFlits=%d)",
-				quiet, scan, n.bufFlits, n.flyFlits))
+				quiet, scan, n.ctr.bufFlits, n.ctr.flyFlits))
 		}
 	}
 	return quiet
@@ -316,12 +343,14 @@ func (n *Network) quietScan() bool {
 			return false
 		}
 	}
-	for _, slot := range n.ring {
-		for _, ev := range slot {
-			if ev.kind == evFlit {
-				return false
-			}
+	fly := 0
+	n.forEachPending(func(ev event) {
+		if ev.kind == evFlit {
+			fly++
 		}
+	})
+	if fly > 0 {
+		return false
 	}
 	for _, ni := range n.NIs {
 		if len(ni.injQ[0]) > 0 || len(ni.injQ[1]) > 0 || len(ni.streams) > 0 || len(ni.asm) > 0 {
@@ -344,19 +373,17 @@ func (n *Network) CheckCreditInvariant() error {
 	inFlight := make(map[[3]int]int) // (router, port, vc) -> flits on the wire
 	credits := make(map[[3]int]int)  // (router, port, vc) -> credits on the wire
 	fly := 0
-	for _, slot := range n.ring {
-		for _, ev := range slot {
-			k := [3]int{ev.router, ev.port, ev.vc}
-			if ev.kind == evFlit {
-				inFlight[k]++
-				fly++
-			} else {
-				credits[k]++
-			}
+	n.forEachPending(func(ev event) {
+		k := [3]int{ev.router, ev.port, ev.vc}
+		if ev.kind == evFlit {
+			inFlight[k]++
+			fly++
+		} else {
+			credits[k]++
 		}
-	}
-	if fly != n.flyFlits {
-		return fmt.Errorf("in-flight flit counter drifted: counter=%d scan=%d", n.flyFlits, fly)
+	})
+	if fly != n.ctr.flyFlits {
+		return fmt.Errorf("in-flight flit counter drifted: counter=%d scan=%d", n.ctr.flyFlits, fly)
 	}
 	buffered := 0
 	for _, r := range n.Routers {
@@ -366,8 +393,8 @@ func (n *Network) CheckCreditInvariant() error {
 		}
 		buffered += scan
 	}
-	if buffered != n.bufFlits {
-		return fmt.Errorf("network buffered-flit counter drifted: counter=%d scan=%d", n.bufFlits, buffered)
+	if buffered != n.ctr.bufFlits {
+		return fmt.Errorf("network buffered-flit counter drifted: counter=%d scan=%d", n.ctr.bufFlits, buffered)
 	}
 	for _, r := range n.Routers {
 		for p := range r.out {

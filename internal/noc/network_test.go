@@ -214,8 +214,8 @@ func TestFlitConservation(t *testing.T) {
 	if got := runTraffic(t, net, pkts, 60000); got != len(pkts) {
 		t.Fatalf("delivered %d/%d", got, len(pkts))
 	}
-	inj := net.InjFlits[ClassRequest] + net.InjFlits[ClassReply]
-	ej := net.EjFlits[ClassRequest] + net.EjFlits[ClassReply]
+	inj := net.InjectedFlits(ClassRequest) + net.InjectedFlits(ClassReply)
+	ej := net.EjectedFlits(ClassRequest) + net.EjectedFlits(ClassReply)
 	if inj != want || ej != want {
 		t.Fatalf("flits injected %d ejected %d, want %d", inj, ej, want)
 	}
@@ -295,7 +295,7 @@ func TestPacketLatencyRecorded(t *testing.T) {
 		t.Fatal("latency not recorded for CPU priority")
 	}
 	net.ResetStats()
-	if net.PktLat[PrioCPU].Count() != 0 || net.InjFlits[ClassRequest] != 0 {
+	if net.PktLat[PrioCPU].Count() != 0 || net.InjectedFlits(ClassRequest) != 0 {
 		t.Fatal("ResetStats incomplete")
 	}
 }

@@ -23,6 +23,7 @@ import "delrep/internal/fifo"
 // bound their occupancy).
 type NI struct {
 	net    *Network
+	ctr    *netCounters // statistics sink (canonical block or owning tile's delta)
 	Node   int
 	router int
 	port   int
@@ -197,7 +198,7 @@ func (ni *NI) tickInject() {
 			}
 		}
 		rtr.pushFlit(ni.port, st.vc, f)
-		ni.net.InjFlits[st.pkt.Class]++
+		ni.ctr.injFlits[st.pkt.Class]++
 		st.seq++
 		if st.seq >= st.pkt.SizeFlits {
 			ni.inflight[st.pkt.Class]--
@@ -221,7 +222,7 @@ func (ni *NI) tickInject() {
 func (ni *NI) accept(f Flit, vc int) {
 	ni.ejBuf[vc].PushBack(f)
 	ni.ejFlits++
-	ni.net.EjFlits[f.Pkt.Class]++
+	ni.ctr.ejFlits[f.Pkt.Class]++
 	ni.EjFlitsByClass[f.Pkt.Class]++
 }
 

@@ -6,6 +6,11 @@
 // arbitration, and network interfaces with bounded injection buffers —
 // the substrate on which network clogging arises and Delegated Replies
 // operates.
+//
+// A Network ticks serially by default; SetParallel partitions it into
+// router tiles ticked by a worker Pool with a two-phase compute/commit
+// cycle whose results are bit-identical to serial execution at any
+// worker count (see tile.go for the determinism argument).
 package noc
 
 // Class separates request and reply traffic, either onto physically

@@ -1,0 +1,167 @@
+package noc
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestPoolRunsEveryWorker(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8} {
+		p := NewPool(n)
+		if p.Size() != n {
+			t.Fatalf("Size = %d, want %d", p.Size(), n)
+		}
+		hits := make([]int, n)
+		var mu sync.Mutex
+		for round := 0; round < 3; round++ {
+			p.Run(func(w int) {
+				mu.Lock()
+				hits[w]++
+				mu.Unlock()
+			})
+		}
+		for w, h := range hits {
+			if h != 3 {
+				t.Fatalf("n=%d: worker %d ran %d times, want 3", n, w, h)
+			}
+		}
+		p.Close()
+		p.Close() // idempotent
+	}
+}
+
+// trafficPattern regenerates the same random packet set on every call,
+// so serial and tiled runs inject bit-identical traffic.
+func trafficPattern(nodes int) []*Packet {
+	rng := rand.New(rand.NewSource(11))
+	var pkts []*Packet
+	for i := 0; i < 400; i++ {
+		src, dst := rng.Intn(nodes), rng.Intn(nodes)
+		if src == dst {
+			continue
+		}
+		class, size := ClassRequest, 1
+		if rng.Intn(2) == 0 {
+			class, size = ClassReply, 9
+		}
+		pkts = append(pkts, &Packet{
+			ID: uint64(i), Src: src, Dst: dst, Class: class, SizeFlits: size,
+		})
+	}
+	return pkts
+}
+
+// TestTiledTickMatchesSerial drives identical traffic through a serial
+// network and tile-partitioned networks at several worker counts and
+// requires identical outcomes: per-packet ejection cycles and hop
+// counts, and every network-level counter. DebugChecks stays on so the
+// maintained activity counters are cross-checked against full scans
+// (including the tile rings and staging buffers) throughout.
+func TestTiledTickMatchesSerial(t *testing.T) {
+	for name, topo := range allTopologies() {
+		nodes := 64
+		if name == "mesh10x10" {
+			nodes = 100
+		}
+		run := func(workers int) (*Network, []*Packet) {
+			net, _ := buildNet(t, topo, defaultNoC(), nodes)
+			net.DebugChecks = true
+			if workers > 1 {
+				pool := NewPool(workers)
+				defer pool.Close()
+				net.SetParallel(pool, workers)
+			}
+			pkts := trafficPattern(nodes)
+			if got := runTraffic(t, net, pkts, 30000); got != len(pkts) {
+				t.Fatalf("%s N=%d: delivered %d/%d", name, workers, got, len(pkts))
+			}
+			if err := net.CheckCreditInvariant(); err != nil {
+				t.Fatalf("%s N=%d: %v", name, workers, err)
+			}
+			return net, pkts
+		}
+		base, basePkts := run(1)
+		for _, workers := range []int{2, 4, 8} {
+			net, pkts := run(workers)
+			if wantTiles := min(workers, len(net.Routers)); net.Parallel() != wantTiles {
+				t.Fatalf("%s N=%d: Parallel() = %d, want %d", name, workers, net.Parallel(), wantTiles)
+			}
+			for i := range pkts {
+				if pkts[i].Ejected != basePkts[i].Ejected || pkts[i].Hops != basePkts[i].Hops {
+					t.Fatalf("%s N=%d: packet %d diverged: ejected %d vs %d, hops %d vs %d",
+						name, workers, i, pkts[i].Ejected, basePkts[i].Ejected,
+						pkts[i].Hops, basePkts[i].Hops)
+				}
+			}
+			for _, c := range []Class{ClassRequest, ClassReply} {
+				if net.InjectedFlits(c) != base.InjectedFlits(c) || net.EjectedFlits(c) != base.EjectedFlits(c) {
+					t.Fatalf("%s N=%d: class %v flit counters diverged", name, workers, c)
+				}
+			}
+			if net.FlitHops() != base.FlitHops() {
+				t.Fatalf("%s N=%d: FlitHops %d, want %d", name, workers, net.FlitHops(), base.FlitHops())
+			}
+			if net.Now() != base.Now() {
+				t.Fatalf("%s N=%d: cycle %d, want %d", name, workers, net.Now(), base.Now())
+			}
+			if !net.Quiet() {
+				t.Fatalf("%s N=%d: network not quiet after full delivery", name, workers)
+			}
+		}
+	}
+}
+
+// TestTiledLatencySamplersMatchSerial checks the order-sensitive float
+// path: packet-latency samplers must be bit-identical because ejection
+// runs serially in node order in the commit phase.
+func TestTiledLatencySamplersMatchSerial(t *testing.T) {
+	nodes := 64
+	run := func(workers int) *Network {
+		net, _ := buildNet(t, meshTopo(), defaultNoC(), nodes)
+		if workers > 1 {
+			pool := NewPool(workers)
+			defer pool.Close()
+			net.SetParallel(pool, workers)
+		}
+		pkts := trafficPattern(nodes)
+		if got := runTraffic(t, net, pkts, 30000); got != len(pkts) {
+			t.Fatalf("N=%d: delivered %d/%d", workers, got, len(pkts))
+		}
+		return net
+	}
+	base := run(1)
+	for _, workers := range []int{2, 8} {
+		net := run(workers)
+		for p := range net.PktLat {
+			if net.PktLat[p].Count() != base.PktLat[p].Count() ||
+				net.PktLat[p].Mean() != base.PktLat[p].Mean() {
+				t.Fatalf("N=%d prio %d: latency sampler diverged (count %d vs %d, mean %v vs %v)",
+					workers, p, net.PktLat[p].Count(), base.PktLat[p].Count(),
+					net.PktLat[p].Mean(), base.PktLat[p].Mean())
+			}
+		}
+	}
+}
+
+func TestSetParallelGuards(t *testing.T) {
+	// A single-router topology (crossbar) cannot be partitioned: the
+	// network must stay serial rather than spin up useless tiles.
+	net, _ := buildNet(t, NewCrossbar(16), defaultNoC(), 16)
+	pool := NewPool(4)
+	defer pool.Close()
+	net.SetParallel(pool, 4)
+	if net.Parallel() != 1 {
+		t.Fatalf("crossbar Parallel() = %d, want 1", net.Parallel())
+	}
+
+	// Partitioning after traffic has flowed is a programming error.
+	net2, _ := buildNet(t, meshTopo(), defaultNoC(), 64)
+	net2.Tick()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetParallel after the first tick did not panic")
+		}
+	}()
+	net2.SetParallel(pool, 4)
+}

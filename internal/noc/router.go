@@ -69,6 +69,8 @@ func ownerKey(port, vc int) int32 { return int32(port<<8 | vc) }
 // when idle routers skip their tick entirely (see Network.Tick).
 type Router struct {
 	net    *Network
+	tl     *tile        // owning tile (nil when the network is serial)
+	ctr    *netCounters // statistics sink: the network's canonical block, or the tile's delta
 	ID     int
 	nports int
 	// inFlat is the contiguous backing store for all input VC buffers,
@@ -107,6 +109,7 @@ type Router struct {
 func newRouter(net *Network, id, nports, numVCs, bufDepth int) *Router {
 	r := &Router{
 		net:        net,
+		ctr:        &net.ctr,
 		ID:         id,
 		nports:     nports,
 		in:         make([][]vcBuf, nports),
@@ -148,7 +151,18 @@ func newRouter(net *Network, id, nports, numVCs, bufDepth int) *Router {
 func (r *Router) pushFlit(port, vc int, f Flit) {
 	r.in[port][vc].q.PushBack(f)
 	r.buffered++
-	r.net.bufFlits++
+	r.ctr.bufFlits++
+}
+
+// sched queues a delivery through the network's serial delay ring or,
+// in tiled mode, through the owning tile (which stages cross-tile
+// deliveries for commit; see tile.go).
+func (r *Router) sched(delay int, ev event) {
+	if r.tl != nil {
+		r.tl.schedule(delay, ev)
+		return
+	}
+	r.net.schedule(delay, ev)
 }
 
 // acceptFlit places an arriving flit into an input VC buffer. Credits
@@ -351,11 +365,18 @@ func (r *Router) switchAllocAndTraverse() {
 func (r *Router) traverse(p, v int, b *vcBuf) {
 	f := b.q.PopFront()
 	r.buffered--
-	r.net.bufFlits--
+	r.ctr.bufFlits--
 	op := &r.out[b.outPort]
 	op.sent++
-	r.net.flitHops++
-	f.Pkt.Hops++
+	r.ctr.flitHops++
+	// Wormhole routing sends every flit of a packet over the head's
+	// path, so the per-flit hop count is charged in one step when the
+	// head traverses. This keeps the packet untouched during body/tail
+	// traversals, which may run on another tile while the head is
+	// already being processed downstream; the final value is identical.
+	if f.Head() {
+		f.Pkt.Hops += f.Pkt.SizeFlits
+	}
 	if f.Pkt.Trace != nil {
 		if f.Head() {
 			f.Pkt.Trace.depart(r.ID, r.net.now)
@@ -367,7 +388,7 @@ func (r *Router) traverse(p, v int, b *vcBuf) {
 
 	if op.link != nil {
 		op.credits[b.outVC]--
-		r.net.schedule(r.net.hopDelay, event{
+		r.sched(r.net.hopDelay, event{
 			kind: evFlit, router: op.link.to, port: op.link.toPort, vc: b.outVC, flit: f,
 		})
 	} else if op.eject != nil {
@@ -377,7 +398,7 @@ func (r *Router) traverse(p, v int, b *vcBuf) {
 
 	// Return a credit to whoever feeds this input port.
 	if fd := r.inFrom[p]; fd.ok {
-		r.net.schedule(r.net.cfg.LinkDelay, event{
+		r.sched(r.net.cfg.LinkDelay, event{
 			kind: evCredit, router: fd.r, port: fd.port, vc: v,
 		})
 	}

@@ -1,0 +1,306 @@
+package noc
+
+// This file implements deterministic tile-parallel network ticking.
+//
+// The network is partitioned into tiles: contiguous router ranges plus
+// the NIs attached to those routers. Each cycle runs in two phases:
+//
+//   - Compute: every tile, on its own worker, drains last cycle's
+//     staged cross-tile events into its delay ring, delivers its own
+//     ring slot, injects from its own NIs, and ticks its own routers.
+//     All state a tile touches in this phase is tile-owned; the one
+//     cross-tile interaction — a flit or credit scheduled onto a
+//     router of another tile — is staged into a per-(src,dst) buffer
+//     instead of applied.
+//   - Commit: after a single barrier, the coordinator folds each
+//     tile's statistics delta into the canonical counters in fixed
+//     tile order and runs packet ejection serially in node order.
+//
+// Determinism argument (DESIGN.md §11 is the long form): every
+// delivery has delay >= 1, so an event staged in cycle c is never due
+// before cycle c+1 — draining at the start of the next compute phase
+// is always in time. Within one ring slot, delivery order is
+// immaterial: credit-based flow control admits at most one flit per
+// (router, input port) per cycle and link delays are uniform, so no
+// two same-slot events touch the same VC ring, and credit delivery is
+// a commutative increment. Statistics fold in fixed tile order, and
+// every order-sensitive consumer (float latency samplers, packet
+// handlers) runs in the serial commit phase in node order. The result
+// is bit-identical to serial execution at every worker count.
+//
+// Staging buffers are double-buffered by cycle parity: cycle c writes
+// stage[c&1] and drains stage[(c-1)&1], so writers and drainers never
+// share a buffer and the end-of-cycle barrier is the only
+// synchronization the phases need.
+
+import (
+	"fmt"
+
+	"delrep/internal/fifo"
+)
+
+// netCounters is the mutable statistics block of a Network. The
+// canonical copy lives in the Network; in tiled mode each tile
+// accumulates into a private delta that the commit phase folds into
+// the canonical copy every cycle, so routers and NIs update counters
+// through a pointer without caring which mode they run in.
+type netCounters struct {
+	// Activity counters (never reset): flits buffered in router input
+	// rings, and flit events in flight in the delay rings.
+	bufFlits int
+	flyFlits int
+
+	// Measurement counters (reset at the end of warmup).
+	injFlits [2]int64 // per class
+	ejFlits  [2]int64
+	flitHops int64
+}
+
+// add folds a delta into the receiver.
+func (c *netCounters) add(d *netCounters) {
+	c.bufFlits += d.bufFlits
+	c.flyFlits += d.flyFlits
+	for i := range c.injFlits {
+		c.injFlits[i] += d.injFlits[i]
+		c.ejFlits[i] += d.ejFlits[i]
+	}
+	c.flitHops += d.flitHops
+}
+
+// stagedEvent is a cross-tile delivery captured during the compute
+// phase: the event plus the ring slot it was scheduled into.
+type stagedEvent struct {
+	slot int32
+	ev   event
+}
+
+// stageBuf is one (src tile, dst tile) staging buffer — a fifo.Stash
+// that retains its backing array across cycles, so after warmup the
+// staging path is allocation-free. The padding keeps adjacent buffers
+// off one cache line: src tiles push into distinct buffers
+// concurrently.
+type stageBuf struct {
+	events fifo.Stash[stagedEvent]
+	_      [40]byte
+}
+
+// tile owns a contiguous router range [loR, hiR), the NIs attached to
+// those routers, a private delay ring, and a private statistics delta.
+type tile struct {
+	net      *Network
+	id       int
+	loR, hiR int
+	routers  []*Router
+	nis      []*NI
+	ring     [][]event // same length as the serial delay ring
+	ctr      netCounters
+	_        [64]byte // no false sharing between adjacent tiles' deltas
+}
+
+// schedule is the tiled replacement for Network.schedule: same-tile
+// deliveries go straight into the tile's own ring; cross-tile
+// deliveries are staged for the destination tile to drain next cycle.
+// Delivery delays are >= 1, so next-cycle draining is always in time.
+func (t *tile) schedule(delay int, ev event) {
+	if delay < 1 {
+		delay = 1
+	}
+	if ev.kind == evFlit {
+		t.ctr.flyFlits++
+	}
+	n := t.net
+	slot := (n.now + int64(delay)) % int64(len(t.ring))
+	dst := n.tileOf[ev.router]
+	if dst == t.id {
+		t.ring[slot] = append(t.ring[slot], ev)
+		return
+	}
+	n.stage[n.now&1][t.id*len(n.tiles)+dst].events.Push(stagedEvent{slot: int32(slot), ev: ev})
+}
+
+// run executes the tile's compute phase for the current cycle:
+// drain staged cross-tile events (fixed source order), deliver the
+// tile ring's due slot, inject from the tile's NIs, tick the tile's
+// routers. Everything it touches is owned by this tile this cycle.
+func (t *tile) run() {
+	n := t.net
+	nt := len(n.tiles)
+	drain := n.stage[(n.now-1)&1]
+	for src := 0; src < nt; src++ {
+		sb := &drain[src*nt+t.id]
+		for _, se := range sb.events.Items() {
+			t.ring[se.slot] = append(t.ring[se.slot], se.ev)
+		}
+		sb.events.Reset()
+	}
+	slot := n.now % int64(len(t.ring))
+	evs := t.ring[slot]
+	for _, ev := range evs {
+		r := n.Routers[ev.router]
+		switch ev.kind {
+		case evFlit:
+			t.ctr.flyFlits--
+			r.acceptFlit(ev.port, ev.vc, ev.flit)
+		case evCredit:
+			r.out[ev.port].credits[ev.vc]++
+		}
+	}
+	t.ring[slot] = evs[:0]
+	for _, ni := range t.nis {
+		if ni.injActive() {
+			ni.tickInject()
+		}
+	}
+	if n.hare {
+		for _, r := range t.routers {
+			r.tick()
+		}
+	} else {
+		// The serial path's network-level bufFlits gate is only a fast
+		// path over the exact per-router check; the canonical counter is
+		// one fold behind during the compute phase, so tiles use the
+		// per-router gate alone.
+		for _, r := range t.routers {
+			if r.buffered > 0 {
+				r.tick()
+			}
+		}
+	}
+}
+
+// SetParallel partitions the network into up to `workers` tiles ticked
+// on the given pool. It must be called before the first cycle (the
+// rings and staging buffers assume no traffic is in flight), and with
+// workers <= pool.Size(). One router or one worker leaves the network
+// serial. Results are bit-identical to serial execution at any worker
+// count; see the package comment at the top of this file.
+func (n *Network) SetParallel(pool *Pool, workers int) {
+	if n.now != 0 {
+		panic("noc: SetParallel after the first tick")
+	}
+	n.forceSerial()
+	nt := workers
+	if nt > len(n.Routers) {
+		nt = len(n.Routers)
+	}
+	if nt <= 1 || pool == nil {
+		return
+	}
+	if workers > pool.Size() {
+		panic(fmt.Sprintf("noc: SetParallel(%d) exceeds pool size %d", workers, pool.Size()))
+	}
+	n.pool = pool
+	n.tileOf = make([]int, len(n.Routers))
+	n.tiles = make([]*tile, nt)
+	for i := 0; i < nt; i++ {
+		t := &tile{
+			net: n,
+			id:  i,
+			loR: i * len(n.Routers) / nt,
+			hiR: (i + 1) * len(n.Routers) / nt,
+		}
+		t.ring = make([][]event, len(n.ring))
+		t.routers = n.Routers[t.loR:t.hiR]
+		for r := t.loR; r < t.hiR; r++ {
+			n.tileOf[r] = i
+			n.Routers[r].tl = t
+			n.Routers[r].ctr = &t.ctr
+		}
+		n.tiles[i] = t
+	}
+	for _, ni := range n.NIs {
+		t := n.tiles[n.tileOf[ni.router]]
+		t.nis = append(t.nis, ni)
+		ni.ctr = &t.ctr
+	}
+	for p := range n.stage {
+		n.stage[p] = make([]stageBuf, nt*nt)
+	}
+	// Prebind the fan-out closure once so the per-cycle pool.Run does
+	// not allocate.
+	n.sectionFn = n.section
+}
+
+// forceSerial tears down any tile partition and restores the serial
+// tick path. Like SetParallel it is only legal before the first cycle.
+func (n *Network) forceSerial() {
+	if n.now != 0 && n.tiles != nil {
+		panic("noc: forceSerial after the first tick")
+	}
+	for _, r := range n.Routers {
+		r.tl = nil
+		r.ctr = &n.ctr
+	}
+	for _, ni := range n.NIs {
+		ni.ctr = &n.ctr
+	}
+	n.tiles = nil
+	n.tileOf = nil
+	n.stage = [2][]stageBuf{}
+	n.pool = nil
+	n.sectionFn = nil
+}
+
+// Parallel returns the number of tiles the network ticks in parallel
+// (1 when serial).
+func (n *Network) Parallel() int {
+	if n.tiles == nil {
+		return 1
+	}
+	return len(n.tiles)
+}
+
+// section is the per-worker body of the compute phase: worker w runs
+// tiles w, w+P, w+2P, ... (P = pool size). With the usual tile count
+// <= pool size each worker runs at most one tile.
+func (n *Network) section(worker int) {
+	for i := worker; i < len(n.tiles); i += n.pool.Size() {
+		n.tiles[i].run()
+	}
+}
+
+// tickTiled is the parallel form of Tick: one pool fan-out for the
+// compute phase, then the serial commit phase — fold statistics
+// deltas in tile order, eject in node order. Exactly one barrier per
+// network per cycle.
+func (n *Network) tickTiled() {
+	n.now++
+	n.measured++
+	n.pool.Run(n.sectionFn)
+	for _, t := range n.tiles {
+		n.ctr.add(&t.ctr)
+		t.ctr = netCounters{}
+	}
+	for _, ni := range n.NIs {
+		if ni.ejActive() {
+			ni.tickEject()
+		}
+	}
+}
+
+// forEachPending invokes fn for every scheduled-but-undelivered event:
+// the serial delay ring, every tile's ring, and both parities of the
+// staging buffers (events staged on the last cycle sit undrained until
+// their destination tile's next compute phase). Quiet and the credit
+// invariant check use it so they stay exact in tiled mode.
+func (n *Network) forEachPending(fn func(event)) {
+	for _, slot := range n.ring {
+		for _, ev := range slot {
+			fn(ev)
+		}
+	}
+	for _, t := range n.tiles {
+		for _, slot := range t.ring {
+			for _, ev := range slot {
+				fn(ev)
+			}
+		}
+	}
+	for p := range n.stage {
+		for i := range n.stage[p] {
+			for _, se := range n.stage[p][i].events.Items() {
+				fn(se.ev)
+			}
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package perf
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"delrep/internal/config"
+	"delrep/internal/core"
+)
+
+// fig5MeshCfg is the Fig5/Mesh evaluation point (baseline scheme on
+// the 8x8 mesh, HS×vips pairing) at benchmark-sized windows — the
+// scaling reference named by the roadmap for intra-run parallelism.
+func fig5MeshCfg() config.Config {
+	cfg := config.Default()
+	cfg.Scheme = config.SchemeBaseline
+	cfg.NoC.Topology = config.TopoMesh
+	cfg.WarmupCycles = 3_000
+	cfg.MeasureCycles = 6_000
+	return cfg
+}
+
+func runFig5Mesh(t testing.TB, workers int) core.AuditRun {
+	a, err := core.RunAuditCtrl(core.RunControl{Parallel: workers}, fig5MeshCfg(), "HS", "vips")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// TestParallelScalingDigest is the acceptance gate for the two-phase
+// tile tick: the Fig5/Mesh digest must be bit-identical at every
+// worker count.
+func TestParallelScalingDigest(t *testing.T) {
+	base := runFig5Mesh(t, 1)
+	for _, workers := range []int{2, 4, 8} {
+		a := runFig5Mesh(t, workers)
+		if a.Digest != base.Digest || a.Cycles != base.Cycles {
+			t.Fatalf("N=%d diverged from serial: (%d, %#x) vs (%d, %#x)",
+				workers, a.Cycles, a.Digest, base.Cycles, base.Digest)
+		}
+	}
+}
+
+// TestParallelScalingWallTime asserts the speedup side of the
+// acceptance bar — N=4 wall time at most 0.6x serial on Fig5/Mesh. It
+// needs real cores to mean anything, so it only runs where at least 4
+// are available; the digest gate above runs unconditionally.
+func TestParallelScalingWallTime(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	if runtime.NumCPU() < 4 {
+		t.Skipf("need >= 4 CPUs to measure scaling, have %d", runtime.NumCPU())
+	}
+	best := func(workers int) time.Duration {
+		bestD := time.Duration(1<<63 - 1)
+		for i := 0; i < 3; i++ {
+			start := time.Now()
+			runFig5Mesh(t, workers)
+			if d := time.Since(start); d < bestD {
+				bestD = d
+			}
+		}
+		return bestD
+	}
+	serial := best(1)
+	par := best(4)
+	ratio := float64(par) / float64(serial)
+	t.Logf("Fig5/Mesh wall time: N=1 %v, N=4 %v (ratio %.2f)", serial, par, ratio)
+	if ratio > 0.6 {
+		t.Fatalf("N=4 wall time is %.2fx serial, want <= 0.6x", ratio)
+	}
+}
+
+// BenchmarkParallelFig5Mesh reports Fig5/Mesh simulation throughput at
+// each worker count (the numbers the CI bench artifact publishes),
+// asserting per iteration that the digest still matches serial.
+func BenchmarkParallelFig5Mesh(b *testing.B) {
+	base := runFig5Mesh(b, 1)
+	cycles := fig5MeshCfg().WarmupCycles + fig5MeshCfg().MeasureCycles
+	for _, workers := range []int{1, 2, 4, 8} {
+		workers := workers
+		b.Run(map[int]string{1: "N=1", 2: "N=2", 4: "N=4", 8: "N=8"}[workers], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				a := runFig5Mesh(b, workers)
+				if a.Digest != base.Digest {
+					b.Fatalf("N=%d digest %#x diverged from serial %#x", workers, a.Digest, base.Digest)
+				}
+			}
+			b.ReportMetric(float64(cycles*int64(b.N))/b.Elapsed().Seconds(), "cycles/s")
+		})
+	}
+}

@@ -1,15 +1,15 @@
 // Package runner executes independent simulations in parallel and
 // memoizes their results, in memory and on disk.
 //
-// Each simulation is single-threaded by design — the cycle loop must
-// stay serial and pure (the tickpurity analyzer in cmd/simlint
-// enforces it) — but the evaluation's sweeps are embarrassingly
-// parallel *across* runs: every (config, GPU benchmark, CPU benchmark)
-// triple is an isolated deterministic computation. The Engine exploits
-// exactly that split and nothing more: a bounded worker pool runs
-// whole simulations concurrently, while within each worker the
-// simulator remains the same serial machine the determinism audit
-// certifies.
+// The evaluation's sweeps are embarrassingly parallel *across* runs:
+// every (config, GPU benchmark, CPU benchmark) triple is an isolated
+// deterministic computation, and the Engine's bounded worker pool runs
+// whole simulations concurrently. Within a run, the coordinating cycle
+// loop stays serial and pure (the tickpurity analyzer in cmd/simlint
+// enforces it), but the network tick may additionally be
+// tile-partitioned across cores (core.SetParallel, DESIGN.md §11) —
+// a pure execution strategy that is bit-identical to serial at any
+// worker count, which is why it never appears in a run's Key.
 //
 // The contract that keeps parallel runs trustworthy:
 //
@@ -124,14 +124,21 @@ type Options struct {
 	// starts. Writes are serialized (one Write call per line), so
 	// os.Stderr stays readable under concurrency.
 	Progress io.Writer
+	// RunParallel, when > 1, tile-partitions each simulation's network
+	// tick across that many workers (core.SetParallel). It is an
+	// execution hint: results and digests are bit-identical at any
+	// value, so it does not enter the memo/cache Key, and SubmitCtxParallel
+	// can override it per submission.
+	RunParallel int
 }
 
 // Engine is a deterministic parallel execution engine for independent
 // simulations. Methods are safe for concurrent use.
 type Engine struct {
-	cache    *DiskCache
-	progress io.Writer
-	sem      chan struct{}
+	cache       *DiskCache
+	progress    io.Writer
+	sem         chan struct{}
+	runParallel int
 
 	// progressMu serializes writes to progress and guards nothing
 	// else: a slow progress writer (a piped stderr, a test buffer)
@@ -156,10 +163,11 @@ func New(opts Options) *Engine {
 		n = runtime.GOMAXPROCS(0)
 	}
 	return &Engine{
-		cache:    opts.Cache,
-		progress: opts.Progress,
-		sem:      make(chan struct{}, n),
-		memo:     map[string]*Future{},
+		cache:       opts.Cache,
+		progress:    opts.Progress,
+		sem:         make(chan struct{}, n),
+		runParallel: opts.RunParallel,
+		memo:        map[string]*Future{},
 	}
 }
 
@@ -197,6 +205,11 @@ type Future struct {
 	// that job's trace gets the cache.lookup/engine.run detail, while
 	// deduplicated joiners get a dedup.join span of their own.
 	span *telemetry.Span
+
+	// parallel is the intra-run worker count the execution will use
+	// (first submitter wins on dedup — safe because parallelism never
+	// changes the result, only the wall time).
+	parallel int
 
 	progDone  atomic.Int64
 	progTotal atomic.Int64
@@ -273,6 +286,19 @@ func (e *Engine) Submit(spec Spec) *Future {
 // from the memo table before it completes, so a later submission of
 // the same spec re-executes.
 func (e *Engine) SubmitCtx(ctx context.Context, spec Spec) *Future {
+	return e.SubmitCtxParallel(ctx, spec, 0)
+}
+
+// SubmitCtxParallel is SubmitCtx with a per-submission intra-run
+// parallelism override (<= 0 falls back to Options.RunParallel).
+// Parallelism is deliberately not part of the memo/cache Key: results
+// are bit-identical at any worker count, so a submission may be served
+// by a future or cached result that ran at a different N — when
+// submissions race, the first one's N wins.
+func (e *Engine) SubmitCtxParallel(ctx context.Context, spec Spec, parallel int) *Future {
+	if parallel <= 0 {
+		parallel = e.runParallel
+	}
 	span := telemetry.SpanFromContext(ctx)
 	k := Key(spec.Cfg, spec.GPU, spec.CPU)
 	e.mu.Lock()
@@ -289,7 +315,7 @@ func (e *Engine) SubmitCtx(ctx context.Context, spec Spec) *Future {
 	}
 	//simlint:ignore ctxflow the run is memoized and shared: its lifetime is the union of all waiter contexts (see addWaiter), not the first submitter's
 	runCtx, cancel := context.WithCancel(context.Background())
-	f := &Future{spec: spec, key: k, done: make(chan struct{}), cancel: cancel, span: span}
+	f := &Future{spec: spec, key: k, done: make(chan struct{}), cancel: cancel, span: span, parallel: parallel}
 	e.memo[k] = f
 	e.mu.Unlock()
 	f.addWaiter(ctx)
@@ -404,6 +430,7 @@ func runAudit(runCtx context.Context, f *Future, runSpan *telemetry.Span) (a cor
 	return core.RunAuditCtrl(core.RunControl{
 		Ctx:        runCtx,
 		OnProgress: onProgress,
+		Parallel:   f.parallel,
 	}, f.spec.Cfg, f.spec.GPU, f.spec.CPU)
 }
 

@@ -75,8 +75,13 @@ type Job struct {
 	spec    simspec.Spec // canonical form, echoed back to clients
 	cfg     config.Config
 	specKey string // short content hash of the resolved spec
-	ctx     context.Context
-	cancel  context.CancelFunc
+	// reqParallel is the intra-run parallelism the submitted spec asked
+	// for. Resolve strips it from the canonical spec (it is an
+	// execution hint, not identity), so it is carried here verbatim and
+	// clamped against the server's cap and load at dispatch.
+	reqParallel int
+	ctx         context.Context
+	cancel      context.CancelFunc
 	// doneCh closes when the job reaches a terminal status.
 	doneCh chan struct{}
 	// log carries the job's identity attrs (job/client/spec-key) on
@@ -94,6 +99,7 @@ type Job struct {
 	finished  time.Time
 	fut       *runner.Future
 	run       runner.Run
+	parallel  int // effective tile workers, fixed at dispatch
 	subs      map[chan sseEvent]struct{}
 	spanQueue *telemetry.Span // open queue.wait span, ended at dispatch
 }
@@ -116,6 +122,7 @@ type jobView struct {
 	Finished string          `json:"finished,omitempty"`
 	Source   string          `json:"source,omitempty"`
 	Error    string          `json:"error,omitempty"`
+	Parallel int             `json:"parallel,omitempty"` // effective tile workers (omitted when serial)
 	Progress *progressView   `json:"progress,omitempty"`
 	Result   *simspec.Result `json:"result,omitempty"`
 }
@@ -136,6 +143,9 @@ func (j *Job) viewLocked() jobView {
 	}
 	if !j.finished.IsZero() {
 		v.Finished = j.finished.UTC().Format(time.RFC3339Nano)
+	}
+	if j.parallel > 1 {
+		v.Parallel = j.parallel
 	}
 	if j.status == StatusRunning && j.fut != nil {
 		done, total := j.fut.Progress()

@@ -110,6 +110,16 @@ type Options struct {
 	// EnablePprof mounts net/http/pprof under /debug/pprof/ for live
 	// CPU/heap/goroutine profiling of the daemon.
 	EnablePprof bool
+	// MaxRunParallel caps the intra-run tile parallelism a job's spec
+	// may request ("parallel" field). <= 0 disables intra-run
+	// parallelism entirely: every job runs serial, exactly as before
+	// the tile tick existed. The cap is admission-aware — a requested
+	// N is additionally clamped to the cap divided by the number of
+	// running jobs at dispatch, so a busy daemon never oversubscribes
+	// cores it is already using to run jobs side by side. Clamping is
+	// behavior-neutral: results are bit-identical at any worker count,
+	// so this knob trades wall time only.
+	MaxRunParallel int
 }
 
 // Server is the simulation daemon. Create with New; serve its
@@ -119,6 +129,7 @@ type Server struct {
 	workers       int
 	queueDepth    int
 	clientCap     int
+	maxParallel   int
 	cacheMax      int64
 	progressEvery time.Duration
 	logger        *slog.Logger
@@ -159,6 +170,7 @@ func New(opts Options) *Server {
 		workers:       opts.Workers,
 		queueDepth:    opts.QueueDepth,
 		clientCap:     opts.ClientInFlight,
+		maxParallel:   opts.MaxRunParallel,
 		cacheMax:      opts.CacheMaxBytes,
 		progressEvery: opts.ProgressInterval,
 		logger:        opts.Logger,
@@ -323,13 +335,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		spec:    norm,
 		cfg:     cfg,
 		specKey: specKey,
-		ctx:     ctx,
-		cancel:  cancel,
-		doneCh:  make(chan struct{}),
-		status:  StatusQueued,
-		created: created,
-		subs:    map[chan sseEvent]struct{}{},
-		trace:   tr,
+		// Resolve zeroed norm.Parallel (execution hints are not
+		// identity), so the request's hint is carried separately.
+		reqParallel: req.Spec.Parallel,
+		ctx:         ctx,
+		cancel:      cancel,
+		doneCh:      make(chan struct{}),
+		status:      StatusQueued,
+		created:     created,
+		subs:        map[chan sseEvent]struct{}{},
+		trace:       tr,
 	}
 	j.log = s.logger.With("job", j.id, "client", client, "spec_key", specKey)
 	if tr != nil {
@@ -519,6 +534,7 @@ func (s *Server) next() *Job {
 				j.spanQueue = nil
 				s.queueWait[j.prio].Add(j.started.Sub(j.created).Seconds())
 				s.runningCount++
+				j.parallel = s.effectiveParallelLocked(j.reqParallel)
 				s.notifyLocked(j)
 				return j
 			}
@@ -528,6 +544,30 @@ func (s *Server) next() *Job {
 		}
 		s.cond.Wait()
 	}
+}
+
+// effectiveParallelLocked clamps a job's requested intra-run
+// parallelism against the server cap and the current load. The
+// admission-aware term divides the cap by the number of running jobs
+// (including the one being dispatched), so concurrent jobs share the
+// tile-worker budget instead of each grabbing the full cap. Because
+// results are bit-identical at any worker count, the clamp can never
+// change what a job returns — only how fast.
+func (s *Server) effectiveParallelLocked(requested int) int {
+	if requested <= 1 || s.maxParallel <= 1 {
+		return 1
+	}
+	eff := requested
+	if eff > s.maxParallel {
+		eff = s.maxParallel
+	}
+	if share := s.maxParallel / s.runningCount; eff > share {
+		eff = share
+	}
+	if eff < 1 {
+		eff = 1
+	}
+	return eff
 }
 
 // runJob executes one dispatched job on the engine and retires it.
@@ -541,7 +581,9 @@ func (s *Server) runJob(j *Job) {
 	runCtx := telemetry.ContextWithSpan(j.ctx, submitSpan)
 	var run runner.Run
 	for {
-		fut := s.eng.SubmitCtx(runCtx, rspec)
+		// j.parallel was fixed at dispatch by the same goroutine (next
+		// runs in this worker), so the unlocked read is ordered.
+		fut := s.eng.SubmitCtxParallel(runCtx, rspec, j.parallel)
 		s.mu.Lock()
 		j.fut = fut
 		s.mu.Unlock()

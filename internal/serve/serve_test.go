@@ -185,6 +185,65 @@ func TestEndToEndByteIdentical(t *testing.T) {
 	}
 }
 
+// TestEffectiveParallelClamp pins the admission-aware clamp: requests
+// are capped by MaxRunParallel, then by the per-running-job share of
+// the cap, and never drop below serial.
+func TestEffectiveParallelClamp(t *testing.T) {
+	s := &Server{maxParallel: 8}
+	cases := []struct{ req, running, want int }{
+		{0, 1, 1},  // no hint: serial
+		{1, 1, 1},  // explicit serial
+		{16, 1, 8}, // capped by MaxRunParallel
+		{3, 1, 3},  // under-cap request honored
+		{8, 2, 4},  // two running jobs share the cap
+		{8, 10, 1}, // heavy load floors at serial
+	}
+	for _, c := range cases {
+		s.runningCount = c.running
+		if got := s.effectiveParallelLocked(c.req); got != c.want {
+			t.Errorf("effectiveParallel(req=%d, running=%d) = %d, want %d",
+				c.req, c.running, got, c.want)
+		}
+	}
+	s.maxParallel = 0
+	s.runningCount = 1
+	if got := s.effectiveParallelLocked(8); got != 1 {
+		t.Errorf("cap disabled: effectiveParallel = %d, want 1", got)
+	}
+}
+
+// TestSubmitParallelSpec submits a spec with a parallel hint and checks
+// the full contract: the hint is clamped to the server cap, stripped
+// from the canonical spec, and the tiled result is byte-comparable with
+// a direct serial run.
+func TestSubmitParallelSpec(t *testing.T) {
+	_, ts := newTestServer(t, Options{MaxRunParallel: 4})
+	spec := shortSpec(77)
+	spec.Parallel = 8
+	v, resp := submit(t, ts, submitRequest{Spec: spec}, "?wait")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+	if v.Status != StatusDone {
+		t.Fatalf("job status %s, want done (error %q)", v.Status, v.Error)
+	}
+	if v.Parallel != 4 {
+		t.Fatalf("effective parallel %d, want 4 (request 8 capped)", v.Parallel)
+	}
+	if v.Spec.Parallel != 0 {
+		t.Fatalf("canonical spec leaked the parallel hint: %d", v.Spec.Parallel)
+	}
+	cfg, _, err := spec.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := core.RunAudit(cfg, spec.GPU, spec.CPU)
+	if v.Result == nil || v.Result.Digest != fmt.Sprintf("%016x", a.Digest) {
+		t.Fatalf("served tiled result diverged from direct serial run: %+v vs %016x",
+			v.Result, a.Digest)
+	}
+}
+
 func TestSubmitValidation(t *testing.T) {
 	_, ts := newTestServer(t, Options{})
 	for name, body := range map[string]string{

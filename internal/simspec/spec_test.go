@@ -60,12 +60,35 @@ func TestResolveCanonicalizes(t *testing.T) {
 	}
 }
 
+// The parallel hint is pure execution strategy: it must not survive
+// into the canonical spec (which is run identity) nor perturb the
+// resolved configuration.
+func TestResolveStripsParallelHint(t *testing.T) {
+	plain := Spec{GPU: "HS", CPU: "vips"}
+	hinted := plain
+	hinted.Parallel = 8
+	cfgA, normA, err := plain.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgB, normB, err := hinted.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if normB.Parallel != 0 {
+		t.Fatalf("canonical spec kept the parallel hint: %d", normB.Parallel)
+	}
+	if !reflect.DeepEqual(cfgA, cfgB) || normA != normB {
+		t.Fatal("specs differing only in Parallel must resolve identically")
+	}
+}
+
 func TestResolveErrors(t *testing.T) {
 	cases := []Spec{
-		{},                          // no benchmarks
-		{GPU: "HS"},                 // no CPU
-		{GPU: "nope", CPU: "vips"},  // unknown GPU
-		{GPU: "HS", CPU: "nope"},    // unknown CPU
+		{},                         // no benchmarks
+		{GPU: "HS"},                // no CPU
+		{GPU: "nope", CPU: "vips"}, // unknown GPU
+		{GPU: "HS", CPU: "nope"},   // unknown CPU
 		{GPU: "HS", CPU: "vips", Scheme: "turbo"},
 		{GPU: "HS", CPU: "vips", Layout: "Z"},
 		{GPU: "HS", CPU: "vips", Topo: "torus"},
