@@ -19,10 +19,14 @@
 // prints the canonical simspec.Result (spec, results, determinism
 // digest), byte-comparable with the daemon's "result" field.
 //
-// With -parallel N, the single run ticks its networks tile-parallel on
-// N workers (see DESIGN.md §11). Results and digests are bit-identical
-// at every N, so -parallel composes with -json verification: the same
-// spec run at different worker counts prints the same bytes.
+// With -parallel N, the single run ticks in parallel on N workers —
+// network tiles and node shards on one pool (see DESIGN.md §11–§12).
+// Results and digests are bit-identical at every N, so -parallel
+// composes with -json verification: the same spec run at different
+// worker counts prints the same bytes. The engine clamps N to what the
+// topology can use; when that happens the effective count is reported
+// on stderr. -phase-profile prints the per-phase wall-time breakdown
+// (the Amdahl view of the tick) to stderr after the run.
 package main
 
 import (
@@ -44,22 +48,23 @@ import (
 
 func main() {
 	var (
-		gpuBench = flag.String("gpu", "HS", "GPU benchmark (see -list); comma-separated list with -sweep")
-		cpuBench = flag.String("cpu", "vips", "CPU benchmark (see -list); comma-separated list with -sweep")
-		scheme   = flag.String("scheme", "baseline", "baseline | delegated | rp; comma-separated list with -sweep")
-		layout   = flag.String("layout", "Baseline", "Baseline | B | C | D")
-		topo     = flag.String("topo", "mesh", "mesh | fbfly | dragonfly | crossbar")
-		routing  = flag.String("routing", "cdr", "cdr | dyxy | footprint | hare")
-		org      = flag.String("l1org", "private", "private | dcl1 | dyneb")
-		channel  = flag.Int("channel", 16, "NoC channel width in bytes")
-		warm     = flag.Int64("warm", 20000, "warmup cycles")
-		cycles   = flag.Int64("cycles", 60000, "measured cycles")
-		seed     = flag.Int64("seed", 1, "random seed")
-		parallel = flag.Int("parallel", 0, "tile the NoC tick across this many workers (results are bit-identical at any value; 0/1 = serial)")
-		list     = flag.Bool("list", false, "list benchmarks and exit")
-		heatmap  = flag.Bool("heatmap", false, "print link-utilization heatmaps (mesh only)")
-		vcdepth  = flag.Int("vcdepth", 0, "override VC buffer depth in flits")
-		jsonOut  = flag.Bool("json", false, "emit results as JSON")
+		gpuBench  = flag.String("gpu", "HS", "GPU benchmark (see -list); comma-separated list with -sweep")
+		cpuBench  = flag.String("cpu", "vips", "CPU benchmark (see -list); comma-separated list with -sweep")
+		scheme    = flag.String("scheme", "baseline", "baseline | delegated | rp; comma-separated list with -sweep")
+		layout    = flag.String("layout", "Baseline", "Baseline | B | C | D")
+		topo      = flag.String("topo", "mesh", "mesh | fbfly | dragonfly | crossbar")
+		routing   = flag.String("routing", "cdr", "cdr | dyxy | footprint | hare")
+		org       = flag.String("l1org", "private", "private | dcl1 | dyneb")
+		channel   = flag.Int("channel", 16, "NoC channel width in bytes")
+		warm      = flag.Int64("warm", 20000, "warmup cycles")
+		cycles    = flag.Int64("cycles", 60000, "measured cycles")
+		seed      = flag.Int64("seed", 1, "random seed")
+		parallel  = flag.Int("parallel", 0, "tick the system in parallel on this many workers (results are bit-identical at any value; 0/1 = serial)")
+		phaseProf = flag.Bool("phase-profile", false, "print the per-phase wall-time breakdown of the tick to stderr after the run")
+		list      = flag.Bool("list", false, "list benchmarks and exit")
+		heatmap   = flag.Bool("heatmap", false, "print link-utilization heatmaps (mesh only)")
+		vcdepth   = flag.Int("vcdepth", 0, "override VC buffer depth in flits")
+		jsonOut   = flag.Bool("json", false, "emit results as JSON")
 
 		metricsOut    = flag.String("metrics-out", "", "write windowed metric time series (.csv extension selects CSV, else JSON)")
 		metricsWindow = flag.Int64("metrics-window", 1000, "metric sampling window in cycles")
@@ -180,6 +185,17 @@ func main() {
 		// hooks run inside the compute phase.
 		sys.SetParallel(spec.Parallel)
 		defer sys.Close()
+		if eff := sys.Parallel(); eff != spec.Parallel {
+			// The engine clamps to what the topology can use; say so
+			// rather than silently running at a different width.
+			fmt.Fprintf(os.Stderr, "delrepsim: -parallel %d clamped to %d effective workers\n",
+				spec.Parallel, eff)
+		}
+	}
+	var profile *core.PhaseProfile
+	if *phaseProf {
+		profile = &core.PhaseProfile{}
+		sys.SetPhaseProfile(profile)
 	}
 	var observer *obs.Observer
 	if *metricsOut != "" || *traceOut != "" || *clogFlag {
@@ -203,6 +219,10 @@ func main() {
 	flushObserver(observer, *metricsOut, *traceOut)
 	flushSpan.End()
 	writePhaseTrace(tr, *telemOut)
+	if profile != nil {
+		// Stderr, so -json on stdout stays the canonical Result bytes.
+		fmt.Fprint(os.Stderr, profile.String())
+	}
 
 	if *jsonOut {
 		out := simspec.NewResult(norm, r, sys.StatsDigest())

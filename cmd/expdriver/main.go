@@ -14,9 +14,12 @@
 //
 // Independent simulations run concurrently on -j workers (default
 // GOMAXPROCS) and are memoized on disk, so a rerun with a warm cache
-// performs zero simulations. Everything printed to stdout is
-// byte-identical at any -j value and any cache state; progress,
-// timing, and cache accounting go to stderr.
+// performs zero simulations. -parallel N additionally ticks each
+// simulation on N workers (network tiles + node shards, DESIGN.md
+// §11–§12) — useful when a figure has fewer independent runs than the
+// machine has cores. Everything printed to stdout is byte-identical at
+// any -j or -parallel value and any cache state; progress, timing, and
+// cache accounting go to stderr.
 package main
 
 import (
@@ -102,6 +105,7 @@ func main() {
 		cycles   = flag.Int64("cycles", 0, "override measured cycles")
 		seed     = flag.Int64("seed", 1, "random seed")
 		jobs     = flag.Int("j", runtime.GOMAXPROCS(0), "max concurrent simulations")
+		parallel = flag.Int("parallel", 0, "intra-run workers per simulation (stdout is byte-identical at any value; 0/1 = serial)")
 		cacheDir = flag.String("cache", "auto", `on-disk result cache: directory path, "auto" (per-user dir), or "off"`)
 
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -130,7 +134,7 @@ func main() {
 	}
 
 	cache := openCache(*cacheDir)
-	eng := runner.New(runner.Options{Workers: *jobs, Cache: cache, Progress: os.Stderr})
+	eng := runner.New(runner.Options{Workers: *jobs, RunParallel: *parallel, Cache: cache, Progress: os.Stderr})
 	r := NewRunner(*quick, *seed, eng)
 	if *warm > 0 {
 		r.Warm = *warm
@@ -215,5 +219,5 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: expdriver [-quick] [-j N] [-cache DIR|auto|off] [-warm N] [-cycles N] <experiment>|all|list ...")
+	fmt.Fprintln(os.Stderr, "usage: expdriver [-quick] [-j N] [-parallel N] [-cache DIR|auto|off] [-warm N] [-cycles N] <experiment>|all|list ...")
 }

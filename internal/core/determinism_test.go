@@ -57,11 +57,12 @@ func TestDeterminismAudit(t *testing.T) {
 }
 
 // TestDeterminismAuditParallel runs the same scheme × topology matrix
-// tile-parallel at several worker counts and requires the digest to be
-// bit-identical to the serial run — the acceptance bar for the
-// two-phase tick (DESIGN.md §11). Crossbar is included deliberately:
-// its single router forces the partition back to serial, and that
-// fallback must be digest-inert too.
+// node-and-network parallel at several worker counts and requires the
+// Results and digest to be bit-identical to the serial run — the
+// acceptance bar for the fused two-dispatch tick (DESIGN.md §11–§12).
+// Crossbar is included deliberately: its single router leaves nothing
+// to tile, so the run exercises the shards-only path (serial network,
+// parallel node phase), which must be digest-inert too.
 func TestDeterminismAuditParallel(t *testing.T) {
 	schemes := []config.Scheme{
 		config.SchemeBaseline,
@@ -80,7 +81,7 @@ func TestDeterminismAuditParallel(t *testing.T) {
 			t.Run(name, func(t *testing.T) {
 				cfg := auditConfig(scheme, topo)
 				base := RunAudit(cfg, "NN", "vips")
-				for _, workers := range []int{2, 4} {
+				for _, workers := range []int{2, 4, 8} {
 					a, err := RunAuditCtrl(RunControl{Parallel: workers}, cfg, "NN", "vips")
 					if err != nil {
 						t.Fatal(err)
@@ -112,6 +113,35 @@ func TestDeterminismAuditSharedL1(t *testing.T) {
 			if a.Cycles != b.Cycles || a.Digest != b.Digest {
 				t.Fatalf("same-seed runs diverged: (%d, %#x) vs (%d, %#x)",
 					a.Cycles, a.Digest, b.Cycles, b.Digest)
+			}
+		})
+	}
+}
+
+// TestDeterminismAuditParallelSharedL1 runs the cluster organisations
+// parallel. DCL1 shards on cluster boundaries; DynEB forces the node
+// phase serial (its mode controller invalidates member tags mid-phase,
+// see shard.go) while the networks still tile — both must reproduce
+// the serial digest exactly.
+func TestDeterminismAuditParallelSharedL1(t *testing.T) {
+	for _, org := range []config.L1Org{config.L1DCL1, config.L1DynEB} {
+		t.Run(org.String(), func(t *testing.T) {
+			cfg := auditConfig(config.SchemeDelegatedReplies, config.TopoMesh)
+			cfg.GPU.Org = org
+			cfg.GPU.DynEBEpoch = 256
+			base := RunAudit(cfg, "2DCON", "dedup")
+			for _, workers := range []int{2, 4, 8} {
+				a, err := RunAuditCtrl(RunControl{Parallel: workers}, cfg, "2DCON", "dedup")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if a.Cycles != base.Cycles || a.Digest != base.Digest {
+					t.Fatalf("parallel N=%d diverged from serial: (%d, %#x) vs (%d, %#x)",
+						workers, a.Cycles, a.Digest, base.Cycles, base.Digest)
+				}
+				if a.Results != base.Results {
+					t.Fatalf("parallel N=%d results diverged from serial", workers)
+				}
 			}
 		})
 	}

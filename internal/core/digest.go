@@ -20,11 +20,20 @@ func (s *System) StatsDigest() uint64 {
 	var d stats.Digest
 	d.Int64(s.cycle)
 	d.Int64(s.warmed)
-	d.Uint64(s.pktID)
-	d.Int64(s.localitySamples)
-	d.Int64(s.localityHits)
-	d.Int64(s.locSharedSamples)
-	d.Int64(s.locSharedHits)
+	// Total packets created across every allocator. The split of the
+	// count across shard allocators (and the IDs they hand out) is an
+	// execution detail; the total is a pure function of the simulated
+	// protocol and so matches bit-for-bit between serial and parallel
+	// runs.
+	created := s.al.created
+	for _, sh := range s.shards {
+		created += sh.al.created
+	}
+	d.Uint64(created)
+	d.Int64(s.loc.samples)
+	d.Int64(s.loc.hits)
+	d.Int64(s.loc.sharedSamples)
+	d.Int64(s.loc.sharedHits)
 	for i := range s.loadLat {
 		d.Sampler(&s.loadLat[i])
 	}
@@ -95,6 +104,11 @@ type AuditRun struct {
 	Cycles  int64
 	Digest  uint64
 	Results Results
+	// Workers is the engine-effective worker count the run executed
+	// with (1 when serial): the requested parallelism after the engine
+	// clamps it to what the topology and node population can use.
+	// Execution metadata only — it never enters the canonical Result.
+	Workers int
 }
 
 // RunAudit builds a system, runs the configured warm-up and

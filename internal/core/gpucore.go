@@ -63,6 +63,9 @@ type GPUCore struct {
 	Idx  int // index among GPU cores
 	SM   *gpu.SM
 
+	al  *alloc       // packet allocator (the owning shard's when sharded)
+	loc *locCounters // locality sample sink (the owning shard's when sharded)
+
 	l1        *cache.Cache
 	mshr      *cache.MSHR
 	frq       []*noc.Packet
@@ -93,6 +96,8 @@ func newGPUCore(sys *System, node, idx int) *GPUCore {
 		sys:  sys,
 		Node: node,
 		Idx:  idx,
+		al:   &sys.al,
+		loc:  &sys.loc,
 		l1: cache.New(cache.Config{
 			SizeBytes: sys.Cfg.GPU.L1Bytes,
 			Assoc:     sys.Cfg.GPU.L1Assoc,
@@ -191,7 +196,7 @@ func (g *GPUCore) sendLLCRead(line cache.Addr, requester int, dnf bool, born int
 // send queues a packet on the class outbox (drained in Tick). The
 // message value is materialized through the System free list.
 func (g *GPUCore) send(m Msg, dst int, class noc.Class, prio noc.Priority, flits int) {
-	p := g.sys.newPacket(g.Node, dst, class, prio, flits, g.sys.msgOf(m))
+	p := g.sys.newPacketOn(g.al, g.Node, dst, class, prio, flits, g.al.msgOf(m))
 	if class == noc.ClassRequest {
 		g.outReq = append(g.outReq, p)
 	} else {
@@ -218,7 +223,7 @@ func (g *GPUCore) HandlePacket(p *noc.Packet) bool {
 					// both requesters. frqMerged keeps only the Msg;
 					// the carrier packet dies here.
 					g.frqMerged[m.Line] = append(g.frqMerged[m.Line], m)
-					g.sys.freePacket(p)
+					g.al.freePacket(p)
 					return true
 				}
 				break
@@ -231,23 +236,23 @@ func (g *GPUCore) HandlePacket(p *noc.Packet) bool {
 		return true
 	case MsgProbe:
 		if g.handleProbe(m) {
-			g.sys.retire(p)
+			g.al.retire(p)
 			return true
 		}
 		return false
 	case MsgProbeNack:
 		g.handleProbeNack(m)
-		g.sys.retire(p)
+		g.al.retire(p)
 		return true
 	case MsgReply:
 		if g.handleReply(m) {
-			g.sys.retire(p)
+			g.al.retire(p)
 			return true
 		}
 		return false
 	case MsgWriteAck:
 		g.outWrites--
-		g.sys.retire(p)
+		g.al.retire(p)
 		return true
 	}
 	panic("core: unexpected message at GPU core: " + m.Type.String())
@@ -401,7 +406,7 @@ func (g *GPUCore) serveFRQ() {
 			}
 			g.budget--
 			g.frq, _ = fifo.PopFront(g.frq)
-			g.sys.retire(p)
+			g.al.retire(p)
 			continue
 		}
 		hit, _ := g.l1.Peek(m.Line)
@@ -429,7 +434,7 @@ func (g *GPUCore) serveFRQ() {
 		g.budget--
 		g.serveMerged(m)
 		g.frq, _ = fifo.PopFront(g.frq)
-		g.sys.retire(p)
+		g.al.retire(p)
 	}
 }
 
@@ -460,7 +465,7 @@ func (g *GPUCore) serveMerged(head *Msg) {
 				g.sendLLCRead(m.Line, m.Requester, true, m.Born, m.Acct)
 			}
 		}
-		g.sys.freeMsg(m)
+		g.al.freeMsg(m)
 	}
 }
 

@@ -35,6 +35,7 @@ type MemNode struct {
 	sys  *System
 	Node int
 	Idx  int
+	al   *alloc // packet allocator (the owning shard's when sharded)
 
 	llc   *cache.Cache
 	mshr  *cache.MSHR
@@ -55,6 +56,7 @@ func newMemNode(sys *System, node, idx int) *MemNode {
 		sys:  sys,
 		Node: node,
 		Idx:  idx,
+		al:   &sys.al,
 		llc: cache.New(cache.Config{
 			SizeBytes: sys.Cfg.LLC.SliceBytes,
 			Assoc:     sys.Cfg.LLC.Assoc,
@@ -68,9 +70,26 @@ func newMemNode(sys *System, node, idx int) *MemNode {
 }
 
 // BeginCycle resets the per-cycle LLC port budget and samples blocking.
+// It is the serial composition of the two begin-of-cycle steps; a
+// parallel tick calls them separately because they have different
+// sharding constraints (see beginQuota and sampleBlocked).
 func (m *MemNode) BeginCycle() {
+	m.sampleBlocked()
+	m.beginQuota()
+}
+
+// beginQuota resets the per-cycle LLC port budget. It touches only the
+// node's own state, so a sharded begin phase may run it concurrently.
+func (m *MemNode) beginQuota() {
 	m.llcQuota = 1
 	m.refused = false
+}
+
+// sampleBlocked samples reply-injection-buffer blocking (the paper's
+// clogging metric). It reads NI occupancy as it stands before the
+// network phase, so a parallel tick must run it serially before the
+// fused compute dispatch.
+func (m *MemNode) sampleBlocked() {
 	if m.sys.repNI(m.Node).Full(noc.ClassReply) {
 		m.Stats.BlockedCycles++
 	}
@@ -95,13 +114,13 @@ func (m *MemNode) HandlePacket(p *noc.Packet) bool {
 	switch msg.Type {
 	case MsgGPURead, MsgCPURead:
 		if m.handleRead(msg) {
-			m.sys.retire(p)
+			m.al.retire(p)
 			return true
 		}
 		return false
 	case MsgGPUWrite:
 		if m.handleWrite(msg) {
-			m.sys.retire(p)
+			m.al.retire(p)
 			return true
 		}
 		return false
@@ -187,8 +206,8 @@ func (m *MemNode) handleWrite(msg *Msg) bool {
 	m.llcQuota--
 	m.Stats.Requests++
 	m.Stats.Writes++
-	ack := m.sys.newPacket(m.Node, msg.Requester, noc.ClassReply, noc.PrioGPU, 1,
-		m.sys.msgOf(Msg{Type: MsgWriteAck, Line: msg.Line, Requester: msg.Requester, Acct: msg.Acct}))
+	ack := m.sys.newPacketOn(m.al, m.Node, msg.Requester, noc.ClassReply, noc.PrioGPU, 1,
+		m.al.msgOf(Msg{Type: MsgWriteAck, Line: msg.Line, Requester: msg.Requester, Acct: msg.Acct}))
 	ack.ReadyAt = m.sys.cycle + int64(m.sys.Cfg.LLC.Latency)
 	repNI.Inject(ack)
 	return true
@@ -209,8 +228,8 @@ func (m *MemNode) injectReply(line cache.Addr, dst int, isCPU bool, kind ReplyKi
 		flits = m.sys.cpuReplyFlits
 		prio = noc.PrioCPU
 	}
-	msg := m.sys.msgOf(Msg{Type: MsgReply, Line: line, Requester: dst, Kind: kind, Sharer: sharer, DNF: dnf, Born: born, Acct: acct})
-	p := m.sys.newPacket(m.Node, dst, noc.ClassReply, prio, flits, msg)
+	msg := m.al.msgOf(Msg{Type: MsgReply, Line: line, Requester: dst, Kind: kind, Sharer: sharer, DNF: dnf, Born: born, Acct: acct})
+	p := m.sys.newPacketOn(m.al, m.Node, dst, noc.ClassReply, prio, flits, msg)
 	p.ReadyAt = m.sys.cycle + int64(m.sys.Cfg.LLC.Latency)
 	m.sys.repNI(m.Node).Inject(p)
 }
@@ -321,13 +340,13 @@ func (m *MemNode) delegate() {
 			acct.DelegWait += w
 		}
 		acct.Delegs++
-		d := m.sys.newPacket(m.Node, msg.Sharer, noc.ClassRequest, noc.PrioRemote, 1,
-			m.sys.msgOf(Msg{Type: MsgDelegated, Line: msg.Line, Requester: msg.Requester, Sharer: msg.Sharer, Born: msg.Born, Acct: acct}))
+		d := m.sys.newPacketOn(m.al, m.Node, msg.Sharer, noc.ClassRequest, noc.PrioRemote, 1,
+			m.al.msgOf(Msg{Type: MsgDelegated, Line: msg.Line, Requester: msg.Requester, Sharer: msg.Sharer, Born: msg.Born, Acct: acct}))
 		m.sys.noteDelegated(stuck, d)
 		reqNI.Inject(d)
 		// The stuck reply was consumed by the delegation (the observer
 		// copied its trace); it dies here.
-		m.sys.retire(stuck)
+		m.al.retire(stuck)
 		m.Stats.Delegations++
 		budget--
 	}

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// PhaseProfile accumulates per-phase wall time across a run: the
+// Amdahl breakdown of the system tick. Attach one with
+// SetPhaseProfile before running; Run then dispatches to an
+// instrumented orchestrator that executes the identical tick sequence
+// with a timestamp between phases.
+//
+// The instrumented orchestrators live here, outside the Tick call
+// graph, deliberately: wall-clock reads are banned from per-cycle
+// entry points (simlint's tickpurity analyzer), and profiling is a
+// measurement harness around the tick phases, not part of them.
+// Profiling never touches simulated state, so profiled runs stay
+// bit-identical to unprofiled ones.
+type PhaseProfile struct {
+	Cycles int64
+
+	// Parallelizable phases.
+	NetCompute  time.Duration // network tile compute (phase-1 dispatch)
+	NodeCompute time.Duration // node shard ticks (phase-2 dispatch)
+
+	// Serial phases (the Amdahl floor).
+	Begin      time.Duration // blocking samples + budget resets
+	NetCommit  time.Duration // stats folds + packet ejection
+	NodeCommit time.Duration // shard delta folds
+	Serial     time.Duration // end-of-cycle residue (flush, observer)
+}
+
+// Total returns the wall time across all phases.
+func (p *PhaseProfile) Total() time.Duration {
+	return p.Begin + p.NetCompute + p.NetCommit + p.NodeCompute + p.NodeCommit + p.Serial
+}
+
+// SerialFraction returns the fraction of wall time spent in the
+// serial phases — the Amdahl limit on further worker scaling.
+func (p *PhaseProfile) SerialFraction() float64 {
+	t := p.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(p.Begin+p.NetCommit+p.NodeCommit+p.Serial) / float64(t)
+}
+
+// String renders the breakdown as a small table.
+func (p *PhaseProfile) String() string {
+	t := p.Total()
+	var b strings.Builder
+	fmt.Fprintf(&b, "phase breakdown over %d cycles (total %v):\n", p.Cycles, t.Round(time.Millisecond))
+	row := func(name string, d time.Duration, parallel bool) {
+		pct := 0.0
+		if t > 0 {
+			pct = 100 * float64(d) / float64(t)
+		}
+		kind := "serial"
+		if parallel {
+			kind = "parallel"
+		}
+		fmt.Fprintf(&b, "  %-12s %8s  %5.1f%%  (%s)\n", name, d.Round(time.Microsecond), pct, kind)
+	}
+	row("begin", p.Begin, false)
+	row("net-compute", p.NetCompute, true)
+	row("net-commit", p.NetCommit, false)
+	row("node-compute", p.NodeCompute, true)
+	row("node-commit", p.NodeCommit, false)
+	row("residue", p.Serial, false)
+	fmt.Fprintf(&b, "  serial fraction: %.1f%%\n", 100*p.SerialFraction())
+	return b.String()
+}
+
+// SetPhaseProfile attaches (or, with nil, detaches) a phase profile.
+// May be called at any tick boundary.
+func (s *System) SetPhaseProfile(p *PhaseProfile) { s.prof = p }
+
+// stamp is the profiler's clock read. All wall-clock access in this
+// package funnels through here: the timestamps only ever feed the
+// PhaseProfile buckets, never simulated state.
+func stamp() time.Time {
+	//simlint:ignore rngsource profiler wall-clock timestamps never reach the simulation or its digests
+	return time.Now()
+}
+
+// runProfiled advances n cycles with per-phase timing.
+func (s *System) runProfiled(n int64) {
+	for i := int64(0); i < n; i++ {
+		if s.parallel > 1 {
+			s.profiledParallelStep()
+		} else {
+			s.profiledSerialStep()
+		}
+	}
+}
+
+// profiledSerialStep is the serial Tick with a timestamp between
+// phases. In serial mode the whole network and node phases count as
+// compute: there is no separate commit to attribute.
+func (s *System) profiledSerialStep() {
+	p := s.prof
+	p.Cycles++
+	t0 := stamp()
+	s.cycle++
+	s.beginSerial()
+	t1 := stamp()
+	p.Begin += t1.Sub(t0)
+	s.netSerial()
+	t2 := stamp()
+	p.NetCompute += t2.Sub(t1)
+	s.nodeSerial()
+	t3 := stamp()
+	p.NodeCompute += t3.Sub(t2)
+	s.endCycle()
+	p.Serial += stamp().Sub(t3)
+}
+
+// profiledParallelStep is tickParallel with a timestamp between
+// phases. The dispatch cost of a fused phase is attributed to that
+// phase's compute bucket (it is what a worker-count scan amortizes).
+func (s *System) profiledParallelStep() {
+	p := s.prof
+	p.Cycles++
+	t0 := stamp()
+	s.cycle++
+	for _, m := range s.Mems {
+		m.sampleBlocked()
+	}
+	if s.phase1Fn == nil || len(s.shards) == 0 {
+		for _, m := range s.Mems {
+			m.beginQuota()
+		}
+		for _, g := range s.GPUs {
+			g.BeginCycle()
+		}
+	}
+	t1 := stamp()
+	p.Begin += t1.Sub(t0)
+	if s.phase1Fn != nil {
+		s.ReqNet.BeginTickParallel(false)
+		if s.RepNet != s.ReqNet {
+			s.RepNet.BeginTickParallel(true)
+		}
+		s.pool.Run(s.phase1Fn)
+		t2 := stamp()
+		p.NetCompute += t2.Sub(t1)
+		s.ReqNet.CommitTick()
+		if s.RepNet != s.ReqNet {
+			s.RepNet.ReleaseEnq()
+			s.RepNet.CommitTick()
+		}
+		t1 = stamp()
+		p.NetCommit += t1.Sub(t2)
+	} else {
+		s.netSerial()
+		t2 := stamp()
+		p.NetCompute += t2.Sub(t1)
+		t1 = t2
+	}
+	if len(s.shards) > 0 {
+		s.pool.Run(s.phase2Fn)
+		t2 := stamp()
+		p.NodeCompute += t2.Sub(t1)
+		s.commitShards()
+		t1 = stamp()
+		p.NodeCommit += t1.Sub(t2)
+	} else {
+		s.nodeSerial()
+		t2 := stamp()
+		p.NodeCompute += t2.Sub(t1)
+		t1 = t2
+	}
+	s.endCycle()
+	p.Serial += stamp().Sub(t1)
+}

@@ -157,7 +157,7 @@ func (s *System) Collect() Results {
 	if len(s.GPUs) > 0 {
 		r.GPURecvRate = float64(recv) / float64(cycles) / float64(len(s.GPUs))
 	}
-	r.InterCoreLocal = stats.Ratio(s.localityHits, s.localitySamples)
+	r.InterCoreLocal = stats.Ratio(s.loc.hits, s.loc.samples)
 
 	var lat stats.Sampler
 	var completed int64

@@ -28,11 +28,12 @@ type RunControl struct {
 	// cycles simulated so far and the total cycles of the run
 	// (warm-up + measurement). It must not mutate simulation state.
 	OnProgress func(done, total int64)
-	// Parallel, when > 1, tile-partitions the networks across that many
-	// workers (System.SetParallel). Results are bit-identical at any
-	// value, so it is an execution hint, not part of the run's identity.
-	// Checkpoints sit between ticks either way, so cancellation and
-	// progress stay window-aligned.
+	// Parallel, when > 1, ticks the system across that many workers —
+	// network tiles and node shards on one pool (System.SetParallel).
+	// Results are bit-identical at any value, so it is an execution
+	// hint, not part of the run's identity. Checkpoints sit between
+	// ticks either way, so cancellation and progress stay
+	// window-aligned.
 	Parallel int
 }
 
@@ -91,5 +92,5 @@ func RunAuditCtrl(rc RunControl, cfg config.Config, gpuBench, cpuBench string) (
 	if err != nil {
 		return AuditRun{}, err
 	}
-	return AuditRun{Cycles: sys.Cycle(), Digest: sys.StatsDigest(), Results: res}, nil
+	return AuditRun{Cycles: sys.Cycle(), Digest: sys.StatsDigest(), Results: res, Workers: sys.Parallel()}, nil
 }

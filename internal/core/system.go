@@ -11,6 +11,7 @@ import (
 	"delrep/internal/gpu"
 	"delrep/internal/noc"
 	"delrep/internal/obs"
+	"delrep/internal/par"
 	"delrep/internal/stats"
 	"delrep/internal/workload"
 )
@@ -41,18 +42,20 @@ type System struct {
 
 	cycle  int64
 	warmed int64 // cycle at which stats were last reset
-	pktID  uint64
 	rng    *rand.Rand
-	pool   pool // deterministic Packet/Msg free lists (see pool.go)
+	al     alloc // canonical packet/Msg allocator (see pool.go)
+
+	// allocOf maps a node id to the allocator its tick-phase sends draw
+	// from: the canonical allocator when serial, the owning shard's when
+	// the node phase is sharded. Only CPU nodes route through this table
+	// (GPU cores and memory nodes carry their own pointer).
+	allocOf []*alloc
 
 	// Inter-core locality sampling (Figure 2): on a sampled subset of
 	// L1 read misses, check whether any remote GPU L1 holds the line.
-	localitySamples  int64
-	localityHits     int64
-	locSharedSamples int64
-	locSharedHits    int64
-	locPredSamples   int64
-	locPredHits      int64
+	// Canonical counters; sharded ticks accumulate into per-shard deltas
+	// folded here at node commit (see locCounters).
+	loc locCounters
 
 	// End-to-end GPU load latency by reply kind (diagnostics).
 	loadLat [5]stats.Sampler
@@ -65,12 +68,50 @@ type System struct {
 	// AttachObserver). Strictly measurement-only.
 	obs *obs.Observer
 
-	// netPool drives tile-parallel network ticking; nil when serial
-	// (see SetParallel in parallel.go).
-	netPool  *noc.Pool
+	// pool drives both tile-parallel network ticking and node-phase
+	// sharding; nil when serial (see SetParallel in parallel.go).
+	pool     *par.Pool
 	parallel int
 
+	// shards partitions the node phase (Mems/Clusters/GPUs/CPUs) for
+	// parallel ticking; empty when the node phase runs serially.
+	shards []*shard
+
+	// Prebound phase closures so the per-cycle pool dispatches do not
+	// allocate. phase1Fn is nil when the networks are untiled (crossbar);
+	// phase2Fn is nil when the node phase is unsharded.
+	phase1Fn func(int)
+	phase2Fn func(int)
+
+	// prof, when non-nil, accumulates per-phase wall time (see
+	// profile.go). Measurement-only: Run dispatches to an instrumented
+	// orchestrator, the tick sequence itself is unchanged.
+	prof *PhaseProfile
+
 	nextFlush int64
+}
+
+// locCounters is the inter-core locality sample block. The canonical
+// copy lives in the System; sharded node phases write through a
+// per-shard delta that the commit step folds into the canonical copy
+// every cycle in fixed shard order.
+type locCounters struct {
+	samples       int64
+	hits          int64
+	sharedSamples int64
+	sharedHits    int64
+	predSamples   int64
+	predHits      int64
+}
+
+// add folds a delta into the receiver.
+func (l *locCounters) add(d *locCounters) {
+	l.samples += d.samples
+	l.hits += d.hits
+	l.sharedSamples += d.sharedSamples
+	l.sharedHits += d.sharedHits
+	l.predSamples += d.predSamples
+	l.predHits += d.predHits
 }
 
 // breakAcc accumulates latency-attribution sums for one reply kind.
@@ -140,6 +181,7 @@ func NewSystem(cfg config.Config, gpuBench, cpuBench string) *System {
 		writeFlits:    cfg.NoC.FlitsForData(cfg.GPU.L1LineBytes),
 		rng:           rand.New(rand.NewSource(cfg.Seed)),
 	}
+	s.al.initIDs(1, 1)
 	s.buildNetworks()
 	s.buildNodes()
 	s.prewarmLLC()
@@ -238,8 +280,10 @@ func (s *System) buildNodes() {
 	s.gpuIdx = make([]int, n)
 	s.cpuIdx = make([]int, n)
 	s.memIdx = make([]int, n)
+	s.allocOf = make([]*alloc, n)
 	for i := range s.gpuIdx {
 		s.gpuIdx[i], s.cpuIdx[i], s.memIdx[i] = -1, -1, -1
+		s.allocOf[i] = &s.al
 	}
 	for node := 0; node < n; node++ {
 		switch l.Kind(node) {
@@ -356,13 +400,13 @@ func (s *System) memNodeFor(line cache.Addr) int {
 	return s.memNodes[(h>>32)%uint64(len(s.memNodes))]
 }
 
-// newPacket constructs a packet with a fresh id. The packet comes
-// from the free list (scrubbed on retire), so untouched fields are
-// zero exactly as in a fresh allocation.
-func (s *System) newPacket(src, dst int, class noc.Class, prio noc.Priority, flits int, m *Msg) *noc.Packet {
-	s.pktID++
-	p := s.allocPacket()
-	p.ID, p.Src, p.Dst = s.pktID, src, dst
+// newPacketOn constructs a packet with a fresh id from the given
+// allocator. The packet comes from the free list (scrubbed on
+// retire), so untouched fields are zero exactly as in a fresh
+// allocation.
+func (s *System) newPacketOn(a *alloc, src, dst int, class noc.Class, prio noc.Priority, flits int, m *Msg) *noc.Packet {
+	p := a.allocPacket()
+	p.ID, p.Src, p.Dst = a.nextID(), src, dst
 	p.Class, p.Prio, p.SizeFlits, p.Payload = class, prio, flits, m
 	if s.obs != nil {
 		p.Trace = s.obs.TraceFor(p.ID)
@@ -370,18 +414,26 @@ func (s *System) newPacket(src, dst int, class noc.Class, prio noc.Priority, fli
 	return p
 }
 
+// newPacket constructs a packet from the canonical allocator.
+func (s *System) newPacket(src, dst int, class noc.Class, prio noc.Priority, flits int, m *Msg) *noc.Packet {
+	return s.newPacketOn(&s.al, src, dst, class, prio, flits, m)
+}
+
 // isDelegated and isRP report the active scheme.
 func (s *System) isDelegated() bool { return s.Cfg.Scheme == config.SchemeDelegatedReplies }
 func (s *System) isRP() bool        { return s.Cfg.Scheme == config.SchemeRP }
 
-// SendCPURead implements cpu.Sender.
+// SendCPURead implements cpu.Sender. It runs inside the node phase
+// (cpu.Core.Tick), so the packet draws from the node's shard-local
+// allocator when the node phase is sharded.
 func (s *System) SendCPURead(node int, line cache.Addr) bool {
 	ni := s.reqNI(node)
 	if !ni.CanInject(noc.ClassRequest) {
 		return false
 	}
-	p := s.newPacket(node, s.memNodeFor(line), noc.ClassRequest, noc.PrioCPU, 1,
-		s.msgOf(Msg{Type: MsgCPURead, Line: line, Requester: node}))
+	al := s.allocOf[node]
+	p := s.newPacketOn(al, node, s.memNodeFor(line), noc.ClassRequest, noc.PrioCPU, 1,
+		al.msgOf(Msg{Type: MsgCPURead, Line: line, Requester: node}))
 	return ni.Inject(p)
 }
 
@@ -392,25 +444,30 @@ func (s *System) cpuHandle(node int, p *noc.Packet) bool {
 		panic("core: unexpected message at CPU node: " + m.Type.String())
 	}
 	s.CPUs[s.cpuIdx[node]].ReplyArrived(m.Line)
-	s.retire(p)
+	s.allocOf[node].retire(p)
 	return true
 }
 
 // sampleLocality measures Figure 2's inter-core locality: on a sampled
 // L1 read miss, check whether any remote GPU L1 (or shared slice) holds
-// the line. Measurement only; no timing effect.
+// the line. Measurement only; no timing effect. Counters accumulate
+// through the core's locality block (the shard delta when the node
+// phase is sharded); the remote probes are read-only Peeks against
+// tags that only change at serial commit time, so they are safe to
+// issue from inside a shard.
 func (s *System) sampleLocality(g *GPUCore, line cache.Addr) {
 	if (g.Stats.L1ReadMisses+int64(g.Idx))%localitySamplePeriod != 0 {
 		return
 	}
-	s.localitySamples++
+	l := g.loc
+	l.samples++
 	shared := uint64(line) >= 2<<30 && uint64(line) < 3<<30
 	if shared {
-		s.locSharedSamples++
+		l.sharedSamples++
 		if k := g.Idx % s.GPUProf.ShareGroup; k > 0 {
-			s.locPredSamples++
+			l.predSamples++
 			if s.GPUs[g.Idx-1].probeLocal(line) {
-				s.locPredHits++
+				l.predHits++
 			}
 		}
 	}
@@ -419,9 +476,9 @@ func (s *System) sampleLocality(g *GPUCore, line cache.Addr) {
 			continue
 		}
 		if h.probeLocal(line) {
-			s.localityHits++
+			l.hits++
 			if shared {
-				s.locSharedHits++
+				l.sharedHits++
 			}
 			return
 		}
@@ -431,7 +488,7 @@ func (s *System) sampleLocality(g *GPUCore, line cache.Addr) {
 // LocalityBreakdown reports (sharedSamples, sharedHits, totalSamples,
 // totalHits) for diagnostics.
 func (s *System) LocalityBreakdown() (int64, int64, int64, int64) {
-	return s.locSharedSamples, s.locSharedHits, s.localitySamples, s.localityHits
+	return s.loc.sharedSamples, s.loc.sharedHits, s.loc.samples, s.loc.hits
 }
 
 // ProbeGPU reports whether GPU core idx currently caches the line
@@ -442,24 +499,49 @@ func (s *System) ProbeGPU(idx int, line cache.Addr) bool {
 
 // PredLocality reports how often the wavefront predecessor held a
 // sampled shared miss (diagnostics).
-func (s *System) PredLocality() (int64, int64) { return s.locPredSamples, s.locPredHits }
+func (s *System) PredLocality() (int64, int64) { return s.loc.predSamples, s.loc.predHits }
 
 // Cycle returns the current cycle.
 func (s *System) Cycle() int64 { return s.cycle }
 
-// Tick advances the whole system one cycle.
+// Tick advances the whole system one cycle. The cycle decomposes into
+// the same four phases in every execution mode — begin, network, node,
+// end — and the parallel orchestrator (tickParallel in parallel.go)
+// reuses the serial phase bodies below wherever a piece cannot be
+// partitioned, so serial and parallel runs execute identical work in
+// an identical observable order.
 func (s *System) Tick() {
+	if s.parallel > 1 {
+		s.tickParallel()
+		return
+	}
 	s.cycle++
+	s.beginSerial()
+	s.netSerial()
+	s.nodeSerial()
+	s.endCycle()
+}
+
+// beginSerial resets per-cycle budgets and samples memory blocking.
+func (s *System) beginSerial() {
 	for _, m := range s.Mems {
 		m.BeginCycle()
 	}
 	for _, g := range s.GPUs {
 		g.BeginCycle()
 	}
+}
+
+// netSerial ticks the networks in serial mode.
+func (s *System) netSerial() {
 	s.ReqNet.Tick()
 	if s.RepNet != s.ReqNet {
 		s.RepNet.Tick()
 	}
+}
+
+// nodeSerial ticks every node in the canonical serial order.
+func (s *System) nodeSerial() {
 	for _, m := range s.Mems {
 		m.Tick()
 	}
@@ -472,6 +554,11 @@ func (s *System) Tick() {
 	for _, c := range s.CPUs {
 		c.Tick()
 	}
+}
+
+// endCycle runs the end-of-cycle residue: kernel-boundary flushes and
+// the observer hook.
+func (s *System) endCycle() {
 	if s.nextFlush > 0 && s.cycle >= s.nextFlush {
 		s.kernelFlush()
 		s.nextFlush = s.cycle + int64(s.Cfg.GPU.KernelCycles)
@@ -497,8 +584,14 @@ func (s *System) kernelFlush() {
 	}
 }
 
-// Run advances n cycles.
+// Run advances n cycles. With a phase profile attached it dispatches
+// to the instrumented orchestrator (profile.go); the tick sequence is
+// identical either way.
 func (s *System) Run(n int64) {
+	if s.prof != nil {
+		s.runProfiled(n)
+		return
+	}
 	for i := int64(0); i < n; i++ {
 		s.Tick()
 	}
@@ -523,9 +616,10 @@ func (s *System) ResetStats() {
 	for _, c := range s.Clusters {
 		c.ResetStats()
 	}
-	s.localitySamples, s.localityHits = 0, 0
-	s.locSharedSamples, s.locSharedHits = 0, 0
-	s.locPredSamples, s.locPredHits = 0, 0
+	s.loc = locCounters{}
+	for _, sh := range s.shards {
+		sh.loc = locCounters{}
+	}
 	for i := range s.loadLat {
 		s.loadLat[i].Reset()
 	}

@@ -75,6 +75,11 @@ func run(pass *analysis.Pass) error {
 				callee, _ = pass.TypesInfo.Uses[n.Sel].(*types.Func)
 			}
 			if callee != nil {
+				// Methods of generic types resolve to per-instantiation
+				// objects; fold them onto the declaration the decls map
+				// holds (par.Cell/Matrix are generic, so their callers
+				// would otherwise have no edges at all).
+				callee = callee.Origin()
 				if _, local := decls[callee]; local && !seen[callee] {
 					seen[callee] = true
 					edges[fn] = append(edges[fn], callee)

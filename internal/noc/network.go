@@ -5,6 +5,7 @@ import (
 
 	"delrep/internal/config"
 	"delrep/internal/fifo"
+	"delrep/internal/par"
 	"delrep/internal/stats"
 )
 
@@ -52,6 +53,22 @@ type Network struct {
 	ring [][]event
 	now  int64
 
+	// enqNow is the cycle stamped onto packets at Inject. Serially it
+	// always equals now; a fused parallel tick pre-advances both
+	// networks' clocks before the request network commits, so the
+	// reply network holds enqNow one cycle back until then (see
+	// BeginTickParallel) to keep Enqueued stamps — and everything
+	// derived from them: PktLat, delegation wait — bit-identical to
+	// serial execution.
+	enqNow int64
+
+	// enqHeld is true while enqNow is held back: during that window the
+	// NIs also serve capacity queries (CanInject/InjLen) from the
+	// occupancy snapshot taken when the hold began, because this
+	// network's compute phase has already run but the handlers now
+	// executing serially precede it (see NI.occupancy).
+	enqHeld bool
+
 	// ctr is the canonical statistics block: activity counters
 	// (buffered flits across all router input rings, in-flight flit
 	// events in the delay rings — Quiet derives from these in O(#NIs)
@@ -62,11 +79,11 @@ type Network struct {
 	ctr netCounters
 
 	// Tile-parallel ticking state; nil/empty when serial (see tile.go).
-	pool      *Pool
+	pool      *par.Pool
 	tiles     []*tile
-	tileOf    []int         // router -> owning tile
-	stage     [2][]stageBuf // cross-tile staging, double-buffered by cycle parity
-	sectionFn func(int)     // prebound compute-phase fan-out body
+	tileOf    []int                   // router -> owning tile
+	stage     par.Matrix[stagedEvent] // cross-tile staging, double-buffered by cycle parity
+	sectionFn func(int)               // prebound compute-phase fan-out body
 
 	// DebugChecks enables the slow cross-checks: Quiet and
 	// CheckCreditInvariant re-derive the activity counters by full
@@ -212,6 +229,7 @@ func (n *Network) Tick() {
 	}
 	n.now++
 	n.measured++
+	n.enqNow = n.now
 	slot := n.now % int64(len(n.ring))
 	evs := n.ring[slot]
 	for _, ev := range evs {

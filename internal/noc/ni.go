@@ -32,6 +32,7 @@ type NI struct {
 	injCap   [2]int
 	streams  []injStream
 	inflight [2]int // streaming packets per class (count toward capacity)
+	holdLen  [2]int // occupancy snapshot while the network clock is held
 	rrStream int
 	blocked  [2]bool
 
@@ -57,15 +58,30 @@ type injStream struct {
 	vc  int
 }
 
+// occupancy returns the class's buffered-packet count (queued plus
+// streaming). While the owning network's clock is held (a fused
+// parallel tick, see Network.enqNow), it reports the snapshot taken
+// when the hold began, advanced by injections since: the network's
+// compute phase has already processed this cycle's injection side, but
+// serially the handlers now running would observe the buffer as it
+// stood before that — a stream completing mid-tick must not free
+// capacity to a handler that serially could not have seen it.
+func (ni *NI) occupancy(c Class) int {
+	if ni.net.enqHeld {
+		return ni.holdLen[c]
+	}
+	return len(ni.injQ[c]) + ni.inflight[c]
+}
+
 // CanInject reports whether the class has buffer space (queued plus
 // streaming packets).
 func (ni *NI) CanInject(c Class) bool {
-	return len(ni.injQ[c])+ni.inflight[c] < ni.injCap[c]
+	return ni.occupancy(c) < ni.injCap[c]
 }
 
 // InjLen returns the number of buffered packets of a class, including
 // packets currently streaming into the network.
-func (ni *NI) InjLen(c Class) int { return len(ni.injQ[c]) + ni.inflight[c] }
+func (ni *NI) InjLen(c Class) int { return ni.occupancy(c) }
 
 // InjCap returns the class buffer capacity in packets.
 func (ni *NI) InjCap(c Class) int { return ni.injCap[c] }
@@ -78,11 +94,18 @@ func (ni *NI) Full(c Class) bool { return !ni.CanInject(c) }
 func (ni *NI) Blocked(c Class) bool { return ni.blocked[c] }
 
 // Inject queues a packet on its class queue; it fails when full.
+// The Enqueued stamp comes from enqNow, not now: the two agree except
+// inside a fused parallel tick, where the reply network's clock is
+// pre-advanced but injections from request-ejection handlers must
+// still stamp the cycle a serial run would (see Network.enqNow).
 func (ni *NI) Inject(p *Packet) bool {
 	if !ni.CanInject(p.Class) {
 		return false
 	}
-	p.Enqueued = ni.net.now
+	p.Enqueued = ni.net.enqNow
+	if ni.net.enqHeld {
+		ni.holdLen[p.Class]++
+	}
 	ni.injQ[p.Class] = append(ni.injQ[p.Class], p)
 	return true
 }

@@ -2,34 +2,10 @@ package noc
 
 import (
 	"math/rand"
-	"sync"
 	"testing"
-)
 
-func TestPoolRunsEveryWorker(t *testing.T) {
-	for _, n := range []int{1, 2, 4, 8} {
-		p := NewPool(n)
-		if p.Size() != n {
-			t.Fatalf("Size = %d, want %d", p.Size(), n)
-		}
-		hits := make([]int, n)
-		var mu sync.Mutex
-		for round := 0; round < 3; round++ {
-			p.Run(func(w int) {
-				mu.Lock()
-				hits[w]++
-				mu.Unlock()
-			})
-		}
-		for w, h := range hits {
-			if h != 3 {
-				t.Fatalf("n=%d: worker %d ran %d times, want 3", n, w, h)
-			}
-		}
-		p.Close()
-		p.Close() // idempotent
-	}
-}
+	"delrep/internal/par"
+)
 
 // trafficPattern regenerates the same random packet set on every call,
 // so serial and tiled runs inject bit-identical traffic.
@@ -68,7 +44,7 @@ func TestTiledTickMatchesSerial(t *testing.T) {
 			net, _ := buildNet(t, topo, defaultNoC(), nodes)
 			net.DebugChecks = true
 			if workers > 1 {
-				pool := NewPool(workers)
+				pool := par.NewPool(workers)
 				defer pool.Close()
 				net.SetParallel(pool, workers)
 			}
@@ -120,7 +96,7 @@ func TestTiledLatencySamplersMatchSerial(t *testing.T) {
 	run := func(workers int) *Network {
 		net, _ := buildNet(t, meshTopo(), defaultNoC(), nodes)
 		if workers > 1 {
-			pool := NewPool(workers)
+			pool := par.NewPool(workers)
 			defer pool.Close()
 			net.SetParallel(pool, workers)
 		}
@@ -148,7 +124,7 @@ func TestSetParallelGuards(t *testing.T) {
 	// A single-router topology (crossbar) cannot be partitioned: the
 	// network must stay serial rather than spin up useless tiles.
 	net, _ := buildNet(t, NewCrossbar(16), defaultNoC(), 16)
-	pool := NewPool(4)
+	pool := par.NewPool(4)
 	defer pool.Close()
 	net.SetParallel(pool, 4)
 	if net.Parallel() != 1 {

@@ -28,15 +28,24 @@ package noc
 // handlers) runs in the serial commit phase in node order. The result
 // is bit-identical to serial execution at every worker count.
 //
-// Staging buffers are double-buffered by cycle parity: cycle c writes
-// stage[c&1] and drains stage[(c-1)&1], so writers and drainers never
-// share a buffer and the end-of-cycle barrier is the only
-// synchronization the phases need.
+// Staging buffers are double-buffered by cycle parity (par.WriteParity
+// / par.DrainParity): cycle c writes stage parity c&1 and drains
+// parity (c-1)&1, so writers and drainers never share a buffer and
+// the end-of-cycle barrier is the only synchronization the phases
+// need.
+//
+// The compute/commit halves are also exported separately
+// (BeginTickParallel / ComputeSection / CommitTick) so the system
+// tick can fuse both networks' compute phases — and the core node
+// shards' begin phase — into a single pool dispatch per cycle; Tick
+// remains the self-contained per-network entry point. See
+// internal/core/parallel.go for the fused cycle and the Enqueued
+// stamp (enqNow) argument that makes fusion exact.
 
 import (
 	"fmt"
 
-	"delrep/internal/fifo"
+	"delrep/internal/par"
 )
 
 // netCounters is the mutable statistics block of a Network. The
@@ -74,16 +83,6 @@ type stagedEvent struct {
 	ev   event
 }
 
-// stageBuf is one (src tile, dst tile) staging buffer — a fifo.Stash
-// that retains its backing array across cycles, so after warmup the
-// staging path is allocation-free. The padding keeps adjacent buffers
-// off one cache line: src tiles push into distinct buffers
-// concurrently.
-type stageBuf struct {
-	events fifo.Stash[stagedEvent]
-	_      [40]byte
-}
-
 // tile owns a contiguous router range [loR, hiR), the NIs attached to
 // those routers, a private delay ring, and a private statistics delta.
 type tile struct {
@@ -115,7 +114,7 @@ func (t *tile) schedule(delay int, ev event) {
 		t.ring[slot] = append(t.ring[slot], ev)
 		return
 	}
-	n.stage[n.now&1][t.id*len(n.tiles)+dst].events.Push(stagedEvent{slot: int32(slot), ev: ev})
+	n.stage.At(par.WriteParity(n.now), t.id, dst).S.Push(stagedEvent{slot: int32(slot), ev: ev})
 }
 
 // run executes the tile's compute phase for the current cycle:
@@ -124,14 +123,13 @@ func (t *tile) schedule(delay int, ev event) {
 // routers. Everything it touches is owned by this tile this cycle.
 func (t *tile) run() {
 	n := t.net
-	nt := len(n.tiles)
-	drain := n.stage[(n.now-1)&1]
-	for src := 0; src < nt; src++ {
-		sb := &drain[src*nt+t.id]
-		for _, se := range sb.events.Items() {
+	parity := par.DrainParity(n.now)
+	for src := 0; src < n.stage.Parts(); src++ {
+		sb := n.stage.At(parity, src, t.id)
+		for _, se := range sb.S.Items() {
 			t.ring[se.slot] = append(t.ring[se.slot], se.ev)
 		}
-		sb.events.Reset()
+		sb.S.Reset()
 	}
 	slot := n.now % int64(len(t.ring))
 	evs := t.ring[slot]
@@ -174,7 +172,7 @@ func (t *tile) run() {
 // workers <= pool.Size(). One router or one worker leaves the network
 // serial. Results are bit-identical to serial execution at any worker
 // count; see the package comment at the top of this file.
-func (n *Network) SetParallel(pool *Pool, workers int) {
+func (n *Network) SetParallel(pool *par.Pool, workers int) {
 	if n.now != 0 {
 		panic("noc: SetParallel after the first tick")
 	}
@@ -192,12 +190,13 @@ func (n *Network) SetParallel(pool *Pool, workers int) {
 	n.pool = pool
 	n.tileOf = make([]int, len(n.Routers))
 	n.tiles = make([]*tile, nt)
+	bounds := par.Cuts(len(n.Routers), nt, nil)
 	for i := 0; i < nt; i++ {
 		t := &tile{
 			net: n,
 			id:  i,
-			loR: i * len(n.Routers) / nt,
-			hiR: (i + 1) * len(n.Routers) / nt,
+			loR: bounds[i],
+			hiR: bounds[i+1],
 		}
 		t.ring = make([][]event, len(n.ring))
 		t.routers = n.Routers[t.loR:t.hiR]
@@ -213,9 +212,7 @@ func (n *Network) SetParallel(pool *Pool, workers int) {
 		t.nis = append(t.nis, ni)
 		ni.ctr = &t.ctr
 	}
-	for p := range n.stage {
-		n.stage[p] = make([]stageBuf, nt*nt)
-	}
+	n.stage.Init(nt)
 	// Prebind the fan-out closure once so the per-cycle pool.Run does
 	// not allocate.
 	n.sectionFn = n.section
@@ -236,7 +233,7 @@ func (n *Network) forceSerial() {
 	}
 	n.tiles = nil
 	n.tileOf = nil
-	n.stage = [2][]stageBuf{}
+	n.stage = par.Matrix[stagedEvent]{}
 	n.pool = nil
 	n.sectionFn = nil
 }
@@ -259,14 +256,50 @@ func (n *Network) section(worker int) {
 	}
 }
 
-// tickTiled is the parallel form of Tick: one pool fan-out for the
-// compute phase, then the serial commit phase — fold statistics
-// deltas in tile order, eject in node order. Exactly one barrier per
-// network per cycle.
-func (n *Network) tickTiled() {
+// BeginTickParallel opens a tiled cycle: it advances the clock and,
+// unless holdEnq is set, the injection stamp. A fused system tick
+// holds the reply network's enqNow at the previous cycle until the
+// request network has committed, reproducing the serial order in
+// which request-ejection handlers enqueue replies before the reply
+// network's own tick advances its clock (see ReleaseEnq). The hold
+// also snapshots every NI's injection-buffer occupancy: the handlers
+// running during the hold serially precede this network's tick, so
+// capacity freed by this cycle's compute phase (streams completing)
+// must stay invisible to them (see NI.occupancy).
+func (n *Network) BeginTickParallel(holdEnq bool) {
+	if n.tiles == nil {
+		panic("noc: BeginTickParallel without a tile partition")
+	}
 	n.now++
 	n.measured++
-	n.pool.Run(n.sectionFn)
+	if !holdEnq {
+		n.enqNow = n.now
+		return
+	}
+	n.enqHeld = true
+	for _, ni := range n.NIs {
+		ni.holdLen[0] = len(ni.injQ[0]) + ni.inflight[0]
+		ni.holdLen[1] = len(ni.injQ[1]) + ni.inflight[1]
+	}
+}
+
+// ComputeSection runs worker w's share of the tile compute phase.
+// It must only be called between BeginTickParallel and CommitTick,
+// from a pool dispatch that runs every worker exactly once.
+func (n *Network) ComputeSection(worker int) { n.section(worker) }
+
+// ReleaseEnq advances the injection stamp to the current cycle and
+// drops the occupancy snapshot, ending the hold a
+// BeginTickParallel(true) opened.
+func (n *Network) ReleaseEnq() {
+	n.enqNow = n.now
+	n.enqHeld = false
+}
+
+// CommitTick runs the serial commit phase of a tiled cycle: fold each
+// tile's statistics delta in fixed tile order, then eject packets in
+// node order.
+func (n *Network) CommitTick() {
 	for _, t := range n.tiles {
 		n.ctr.add(&t.ctr)
 		t.ctr = netCounters{}
@@ -276,6 +309,15 @@ func (n *Network) tickTiled() {
 			ni.tickEject()
 		}
 	}
+}
+
+// tickTiled is the parallel form of Tick: one pool fan-out for the
+// compute phase, then the serial commit phase. Exactly one barrier
+// per network per cycle.
+func (n *Network) tickTiled() {
+	n.BeginTickParallel(false)
+	n.pool.Run(n.sectionFn)
+	n.CommitTick()
 }
 
 // forEachPending invokes fn for every scheduled-but-undelivered event:
@@ -296,11 +338,5 @@ func (n *Network) forEachPending(fn func(event)) {
 			}
 		}
 	}
-	for p := range n.stage {
-		for i := range n.stage[p] {
-			for _, se := range n.stage[p][i].events.Items() {
-				fn(se.ev)
-			}
-		}
-	}
+	n.stage.Each(func(se stagedEvent) { fn(se.ev) })
 }

@@ -1,8 +1,21 @@
-package noc
+// Package par provides the shared machinery for deterministic
+// intra-run parallelism: a persistent worker pool, a contiguous
+// partition helper with caller-defined legal cut points, and the
+// parity-double-buffered staging matrix used to hand events between
+// partitions.
+//
+// Both the NoC tile tick (internal/noc/tile.go) and the core node
+// shards (internal/core/shard.go) are built on this package, and both
+// follow the same two-phase discipline: a compute phase where every
+// partition touches only partition-owned state (staging anything
+// cross-partition), then a serial commit phase that drains staged
+// state in fixed partition order. DESIGN.md §11 and §12 carry the
+// exactness arguments.
+package par
 
 import "sync"
 
-// Pool is a persistent worker pool for tile-parallel network ticking.
+// Pool is a persistent worker pool for two-phase parallel ticking.
 // It exists so the per-cycle fan-out costs two channel operations per
 // worker instead of a goroutine spawn: the workers are parked on their
 // work channels between cycles, and the caller's goroutine doubles as
@@ -10,8 +23,9 @@ import "sync"
 //
 // Run is not safe for concurrent use from multiple goroutines; the
 // simulator drives it from the single coordinator goroutine that owns
-// System.Tick. That is the only concurrency contract the NoC needs,
-// and it keeps the pool free of any internal locking on the hot path.
+// System.Tick. That is the only concurrency contract the simulator
+// needs, and it keeps the pool free of any internal locking on the
+// hot path.
 type Pool struct {
 	work []chan func(worker int) // one per extra worker (1..n-1)
 	done chan struct{}
@@ -59,6 +73,15 @@ func (p *Pool) Run(f func(worker int)) {
 	for range p.work {
 		<-p.done
 	}
+}
+
+// Phases runs one two-phase step: compute fans out across every
+// worker (Run's return is the only barrier), then commit runs
+// serially on the caller. The commit function is where staged
+// cross-partition state must be drained in fixed partition order.
+func (p *Pool) Phases(compute func(worker int), commit func()) {
+	p.Run(compute)
+	commit()
 }
 
 // Close releases the worker goroutines. Idempotent; the pool must be

@@ -44,9 +44,11 @@ func TestParallelScalingDigest(t *testing.T) {
 }
 
 // TestParallelScalingWallTime asserts the speedup side of the
-// acceptance bar — N=4 wall time at most 0.6x serial on Fig5/Mesh. It
-// needs real cores to mean anything, so it only runs where at least 4
-// are available; the digest gate above runs unconditionally.
+// acceptance bar — N=4 wall time at most 0.45x serial on Fig5/Mesh
+// (tightened from the tile-only 0.6x once the node phase went
+// parallel too). It needs real cores to mean anything, so it only
+// runs where at least 4 are available; the digest gate above runs
+// unconditionally.
 func TestParallelScalingWallTime(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
@@ -69,8 +71,76 @@ func TestParallelScalingWallTime(t *testing.T) {
 	par := best(4)
 	ratio := float64(par) / float64(serial)
 	t.Logf("Fig5/Mesh wall time: N=1 %v, N=4 %v (ratio %.2f)", serial, par, ratio)
-	if ratio > 0.6 {
-		t.Fatalf("N=4 wall time is %.2fx serial, want <= 0.6x", ratio)
+	if ratio > 0.45 {
+		t.Fatalf("N=4 wall time is %.2fx serial, want <= 0.45x", ratio)
+	}
+}
+
+// profiledFig5Mesh runs Fig5/Mesh with a phase profile attached and
+// returns it. Profiling wraps the identical tick sequence, so the
+// digest must still match the unprofiled serial run.
+func profiledFig5Mesh(t testing.TB, workers int, wantDigest uint64) *core.PhaseProfile {
+	cfg := fig5MeshCfg()
+	sys := core.NewSystem(cfg, "HS", "vips")
+	if workers > 1 {
+		sys.SetParallel(workers)
+		defer sys.Close()
+	}
+	prof := &core.PhaseProfile{}
+	sys.SetPhaseProfile(prof)
+	if _, err := sys.RunWorkloadCtx(core.RunControl{}); err != nil {
+		t.Fatal(err)
+	}
+	if d := sys.StatsDigest(); d != wantDigest {
+		t.Fatalf("profiled N=%d digest %#x diverged from serial %#x", workers, d, wantDigest)
+	}
+	return prof
+}
+
+// TestPhaseProfileNodeParallel pins the Amdahl shift this package's
+// wall-time gate depends on: at N=4 the node phase executes on the
+// fused shard dispatch, not the serial fallback. The structural signal
+// is the NodeCommit bucket — the instrumented orchestrator only
+// accrues it on the sharded path (shard-delta folds), never through
+// nodeSerial.
+func TestPhaseProfileNodeParallel(t *testing.T) {
+	base := runFig5Mesh(t, 1)
+	prof := profiledFig5Mesh(t, 4, base.Digest)
+	if prof.Cycles == 0 || prof.NodeCompute == 0 {
+		t.Fatalf("parallel profile recorded nothing: %+v", prof)
+	}
+	if prof.NodeCommit == 0 {
+		t.Fatal("node phase ran through the serial fallback: no shard commits were profiled")
+	}
+	if prof.NetCommit == 0 {
+		t.Fatal("network phase ran through the serial fallback: no tile commits were profiled")
+	}
+}
+
+// BenchmarkPhaseBreakdown publishes the per-phase Amdahl breakdown of
+// the Fig5/Mesh tick at serial and N=4 as benchmark metrics: the
+// serial fraction bounds what further worker scaling can buy.
+func BenchmarkPhaseBreakdown(b *testing.B) {
+	base := runFig5Mesh(b, 1)
+	for _, workers := range []int{1, 4} {
+		b.Run(map[int]string{1: "N=1", 4: "N=4"}[workers], func(b *testing.B) {
+			total := &core.PhaseProfile{}
+			for i := 0; i < b.N; i++ {
+				p := profiledFig5Mesh(b, workers, base.Digest)
+				total.Cycles += p.Cycles
+				total.Begin += p.Begin
+				total.NetCompute += p.NetCompute
+				total.NetCommit += p.NetCommit
+				total.NodeCompute += p.NodeCompute
+				total.NodeCommit += p.NodeCommit
+				total.Serial += p.Serial
+			}
+			if t := total.Total(); t > 0 {
+				b.ReportMetric(100*total.SerialFraction(), "serial-%")
+				b.ReportMetric(100*float64(total.NetCompute)/float64(t), "net-compute-%")
+				b.ReportMetric(100*float64(total.NodeCompute)/float64(t), "node-compute-%")
+			}
+		})
 	}
 }
 

@@ -1,0 +1,85 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"delrep/internal/config"
+)
+
+// waitGoroutines polls until the process goroutine count drops back to
+// at most base, failing the test otherwise. Worker goroutines park on a
+// channel receive after Close, so a short grace period covers scheduler
+// lag without masking a real leak.
+func waitGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= base {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			buf = buf[:runtime.Stack(buf, true)]
+			t.Fatalf("goroutines leaked: %d alive, want <= %d\n%s", n, base, buf)
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestParallelRunsReleaseWorkers drives a parallel run down every
+// engine lifecycle path — completed, cancelled mid-run, and panicked —
+// and requires the per-run worker pool (System.SetParallel owns N-1
+// goroutines) to be gone afterwards. RunAuditCtrl closes the system on
+// a deferred path, so success, error return, and panic unwinding must
+// all release it.
+func TestParallelRunsReleaseWorkers(t *testing.T) {
+	base := runtime.NumGoroutine()
+	eng := New(Options{Workers: 2, RunParallel: 4})
+
+	cfg := config.Default()
+	cfg.WarmupCycles, cfg.MeasureCycles = 200, 1200
+
+	// Completed run: the result must record the engine-effective count.
+	run := eng.Run(Spec{Cfg: cfg, GPU: "HS", CPU: "vips"})
+	if run.Err != nil {
+		t.Fatal(run.Err)
+	}
+	if run.Workers != 4 {
+		t.Fatalf("Run.Workers = %d, want 4", run.Workers)
+	}
+	waitGoroutines(t, base)
+
+	// Cancelled mid-run: the abort path unwinds through the same defer.
+	long := config.Default()
+	long.WarmupCycles, long.MeasureCycles = 500, 500_000_000
+	ctx, cancel := context.WithCancel(context.Background())
+	f := eng.SubmitCtx(ctx, Spec{Cfg: long, GPU: "HS", CPU: "vips"})
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if done, _ := f.Progress(); done > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("run never reported progress")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if run := f.Wait(); !errors.Is(run.Err, context.Canceled) {
+		t.Fatalf("run.Err = %v, want context.Canceled", run.Err)
+	}
+	waitGoroutines(t, base)
+
+	// Panicked run (unknown benchmark): the recover in runAudit fires
+	// after the System's deferred Close has already run.
+	if run := eng.Run(Spec{Cfg: cfg, GPU: "no-such-benchmark", CPU: "vips"}); run.Err == nil {
+		t.Fatal("run with unknown benchmark reported no error")
+	}
+	waitGoroutines(t, base)
+}

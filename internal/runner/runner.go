@@ -94,6 +94,13 @@ type Run struct {
 	// same Spec must agree on it bit-for-bit.
 	Digest uint64
 	Source Source
+	// Workers is the engine-effective intra-run worker count the
+	// simulation actually ticked with (core.AuditRun.Workers): the
+	// requested parallelism after the engine clamps it to what the
+	// topology can use. Execution metadata only — zero for memo and
+	// disk hits (those ran elsewhere, possibly at another N), and
+	// never part of Results or the cache.
+	Workers int
 	// Err is non-nil when the run did not produce a result: the
 	// simulation was cancelled (context.Canceled) or panicked. Results
 	// and Digest are zero in that case, and the run was neither cached
@@ -385,7 +392,7 @@ func (e *Engine) execute(f *Future, runCtx context.Context) {
 	}
 	runSpan.Set("cycles", a.Cycles)
 	e.executed.Add(1)
-	f.run = Run{Spec: f.spec, Results: a.Results, Digest: a.Digest, Source: SourceExecuted}
+	f.run = Run{Spec: f.spec, Results: a.Results, Digest: a.Digest, Source: SourceExecuted, Workers: a.Workers}
 	if e.cache != nil {
 		// Best effort: a full or read-only cache must not fail the run.
 		_ = e.cache.Put(f.key, a.Digest, a.Results)

@@ -112,17 +112,24 @@ type progressView struct {
 
 // jobView is the JSON rendering of a job returned by the API.
 type jobView struct {
-	ID       string          `json:"id"`
-	Status   Status          `json:"status"`
-	Priority string          `json:"priority"`
-	Client   string          `json:"client,omitempty"`
-	Spec     simspec.Spec    `json:"spec"`
-	Created  string          `json:"created"`
-	Started  string          `json:"started,omitempty"`
-	Finished string          `json:"finished,omitempty"`
-	Source   string          `json:"source,omitempty"`
-	Error    string          `json:"error,omitempty"`
-	Parallel int             `json:"parallel,omitempty"` // effective tile workers (omitted when serial)
+	ID       string       `json:"id"`
+	Status   Status       `json:"status"`
+	Priority string       `json:"priority"`
+	Client   string       `json:"client,omitempty"`
+	Spec     simspec.Spec `json:"spec"`
+	Created  string       `json:"created"`
+	Started  string       `json:"started,omitempty"`
+	Finished string       `json:"finished,omitempty"`
+	Source   string       `json:"source,omitempty"`
+	Error    string       `json:"error,omitempty"`
+	Parallel int          `json:"parallel,omitempty"` // server-granted intra-run workers (omitted when serial)
+	// Workers is the engine-effective worker count the simulation
+	// actually ticked with: Parallel after the core engine clamps it
+	// to what the topology can use (runner.Run.Workers). It lives
+	// here, not in Result — the canonical Result JSON must stay
+	// byte-identical across worker counts. Omitted for memo/disk
+	// hits, which ran elsewhere.
+	Workers  int             `json:"workers,omitempty"`
 	Progress *progressView   `json:"progress,omitempty"`
 	Result   *simspec.Result `json:"result,omitempty"`
 }
@@ -153,6 +160,7 @@ func (j *Job) viewLocked() jobView {
 	}
 	if j.status == StatusDone {
 		v.Source = j.run.Source.String()
+		v.Workers = j.run.Workers
 		r := simspec.NewResult(j.spec, j.run.Results, j.run.Digest)
 		v.Result = &r
 	}

@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"reflect"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -230,6 +231,9 @@ func TestSubmitParallelSpec(t *testing.T) {
 	if v.Parallel != 4 {
 		t.Fatalf("effective parallel %d, want 4 (request 8 capped)", v.Parallel)
 	}
+	if v.Workers != 4 {
+		t.Fatalf("engine-effective workers %d, want 4 (default mesh can use the full grant)", v.Workers)
+	}
 	if v.Spec.Parallel != 0 {
 		t.Fatalf("canonical spec leaked the parallel hint: %d", v.Spec.Parallel)
 	}
@@ -298,6 +302,55 @@ func TestCancelRunningFreesWorker(t *testing.T) {
 	// Cancelling a terminal job conflicts.
 	if resp := cancelJob(t, ts, long.ID); resp.StatusCode != http.StatusConflict {
 		t.Fatalf("re-cancel: status %d, want 409", resp.StatusCode)
+	}
+}
+
+// A parallel job's per-run worker pool (System.SetParallel owns N-1
+// goroutines) must be released on every daemon lifecycle path:
+// completion, mid-run cancellation, and server shutdown. The check is
+// the process goroutine count returning to its pre-server baseline.
+func TestParallelJobsReleaseWorkers(t *testing.T) {
+	base := runtime.NumGoroutine()
+	s := New(Options{Engine: runner.New(runner.Options{Workers: 2}), MaxRunParallel: 4})
+	ts := httptest.NewServer(s.Handler())
+
+	par := func(spec simspec.Spec) simspec.Spec { spec.Parallel = 4; return spec }
+
+	// Completed parallel job.
+	v, _ := submit(t, ts, submitRequest{Spec: par(shortSpec(41))}, "?wait")
+	if v.Status != StatusDone {
+		t.Fatalf("job ended %s (%s)", v.Status, v.Error)
+	}
+	if v.Workers != 4 {
+		t.Fatalf("engine-effective workers %d, want 4", v.Workers)
+	}
+
+	// Cancelled mid-run.
+	long, _ := submit(t, ts, submitRequest{Spec: par(longSpec(42))}, "")
+	pollUntil(t, ts, long.ID, func(v jobView) bool { return v.Status == StatusRunning })
+	if resp := cancelJob(t, ts, long.ID); resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel: status %d", resp.StatusCode)
+	}
+	pollUntil(t, ts, long.ID, func(v jobView) bool { return v.Status.Terminal() })
+
+	// Shutdown with a parallel job still running.
+	run2, _ := submit(t, ts, submitRequest{Spec: par(longSpec(43))}, "")
+	pollUntil(t, ts, run2.ID, func(v jobView) bool { return v.Status == StatusRunning })
+	ts.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_ = s.Shutdown(ctx)
+
+	http.DefaultClient.CloseIdleConnections()
+	deadline := time.Now().Add(10 * time.Second)
+	for runtime.NumGoroutine() > base {
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			buf = buf[:runtime.Stack(buf, true)]
+			t.Fatalf("goroutines leaked: %d alive, want <= %d\n%s",
+				runtime.NumGoroutine(), base, buf)
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }
 
