@@ -1,0 +1,129 @@
+// Command delrepfleet coordinates a fleet of delrepd workers: it
+// serves the same /v1/jobs API as a single daemon and shards submitted
+// simulations across workers by content key, so every existing client
+// (curl, delrepsim -remote, expdriver -remote) scales past one machine
+// by pointing at the coordinator instead.
+//
+// Usage:
+//
+//	delrepfleet -addr :9090 \
+//	    -worker http://sim1:8080 -worker http://sim2:8080
+//
+// Routing is consistent hashing over the run's content-addressed cache
+// key, so repeated sweeps of overlapping configuration points land on
+// the worker already holding the result in its warm disk cache — the
+// coordinator probes that shard (GET /v1/cache/{key}) before spending
+// a queue slot. Workers are health-checked via /readyz; a dead or
+// draining worker's jobs fail over to the next worker on the ring, and
+// because simulations are deterministic and content-addressed, the
+// replayed job returns byte-identical output. Straggler queues are
+// drained by work stealing: a job whose home worker is saturated is
+// routed to an idle worker instead.
+//
+// On SIGINT/SIGTERM the coordinator stops admitting jobs, cancels
+// in-flight ones (propagating the cancellation to workers), and exits.
+// See internal/fleet and DESIGN.md §13 for the architecture.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"delrep/internal/fleet"
+)
+
+// workerList collects repeated -worker flags and comma-separated
+// -workers values into one slice.
+type workerList []string
+
+func (w *workerList) String() string { return strings.Join(*w, ",") }
+
+func (w *workerList) Set(v string) error {
+	for _, u := range strings.Split(v, ",") {
+		u = strings.TrimSpace(u)
+		if u == "" {
+			continue
+		}
+		if !strings.HasPrefix(u, "http://") && !strings.HasPrefix(u, "https://") {
+			return fmt.Errorf("worker %q: URL must start with http:// or https://", u)
+		}
+		*w = append(*w, u)
+	}
+	return nil
+}
+
+func main() {
+	var workers workerList
+	var (
+		addr    = flag.String("addr", ":9090", "listen address")
+		probe   = flag.Duration("probe", 2*time.Second, "worker health-probe interval")
+		retries = flag.Int("retries", 2, "extra failover rounds across the ready workers before a job fails")
+		steal   = flag.Int("steal-margin", 2, "outstanding-over-slots margin that marks a worker a straggler (work stealing kicks in)")
+		drain   = flag.Duration("drain", 30*time.Second, "how long shutdown waits while cancelling in-flight jobs")
+		logJSON = flag.Bool("log-json", false, "emit logs as JSON lines instead of logfmt")
+		telem   = flag.Bool("telemetry", true, "record per-job span traces (GET /v1/jobs/{id}/trace)")
+	)
+	flag.Var(&workers, "worker", "worker base URL (repeatable)")
+	flag.Var(&workers, "workers", "comma-separated worker base URLs")
+	flag.Parse()
+
+	var handler slog.Handler
+	if *logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	} else {
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	}
+	logger := slog.New(handler)
+	fatal := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
+	if len(workers) == 0 {
+		fatal("no workers configured (use -worker URL, repeatable)")
+	}
+
+	srv, err := fleet.New(fleet.Options{
+		Workers:       workers,
+		ProbeInterval: *probe,
+		Retries:       *retries,
+		StealMargin:   *steal,
+		Logger:        logger,
+		Telemetry:     *telem,
+	})
+	if err != nil {
+		fatal("starting coordinator", "error", err)
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
+	logger.Info("coordinating", "addr", *addr, "workers", len(workers), "telemetry", *telem)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		logger.Info("draining", "signal", sig.String(), "timeout", drain.String())
+	case err := <-errCh:
+		fatal("listening failed", "addr", *addr, "error", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		logger.WarnContext(ctx, "drain deadline passed", "error", err)
+	}
+	if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.WarnContext(ctx, "http shutdown", "error", err)
+	}
+	logger.InfoContext(ctx, "stopped")
+}

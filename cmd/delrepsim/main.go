@@ -75,6 +75,7 @@ func main() {
 		clogUtil      = flag.Float64("clog-util", 0.85, "clog-detector port-utilization threshold")
 
 		specFile = flag.String("spec", "", `run one JSON simulation spec from this file ("-" reads stdin)`)
+		remote   = flag.String("remote", "", "run via a delrepd or delrepfleet endpoint at this base URL instead of locally")
 
 		sweep      = flag.Bool("sweep", false, "run the -gpu x -cpu x -scheme cross product in parallel")
 		jobs       = flag.Int("j", runtime.GOMAXPROCS(0), "max concurrent simulations (with -sweep)")
@@ -136,7 +137,7 @@ func main() {
 		if cfg.GPU.Org, err = simspec.ParseOrg(*org); err != nil {
 			fatalf("%v", err)
 		}
-		runSweep(cfg, *gpuBench, *cpuBench, *scheme, *jobs, *cacheDir)
+		runSweep(cfg, *gpuBench, *cpuBench, *scheme, *jobs, *cacheDir, *remote)
 		return
 	}
 
@@ -161,6 +162,25 @@ func main() {
 		// execution hints, so the override cannot change results.
 		spec.Parallel = *parallel
 	}
+	if *remote != "" {
+		// Everything observer- or instrumentation-shaped needs the
+		// simulation in this process; the remote end runs headless.
+		for _, bad := range []struct {
+			name string
+			set  bool
+		}{
+			{"-heatmap", *heatmap}, {"-phase-profile", *phaseProf}, {"-clog", *clogFlag},
+			{"-metrics-out", *metricsOut != ""}, {"-trace-out", *traceOut != ""},
+			{"-telemetry-out", *telemOut != ""},
+		} {
+			if bad.set {
+				fatalf("%s needs a local simulation and cannot combine with -remote", bad.name)
+			}
+		}
+		runRemote(*remote, spec, *jsonOut)
+		return
+	}
+
 	// The phase trace is wall-clock instrumentation of the CLI itself —
 	// the same span layer the daemon uses per job — and never touches
 	// the simulation, so results and digests are identical with or
@@ -234,6 +254,23 @@ func main() {
 		return
 	}
 
+	printResults(cfg, norm, r)
+
+	if *heatmap {
+		printHeatmaps(sys)
+	}
+	if *clogFlag && observer != nil {
+		fmt.Println()
+		if err := observer.Clog.Narrative(os.Stdout); err != nil {
+			fatalf("writing clog narrative: %v", err)
+		}
+	}
+}
+
+// printResults renders the human-readable report for one finished run.
+// Shared by the local and -remote paths, so a remotely served result
+// reads identically to a local one.
+func printResults(cfg config.Config, norm simspec.Spec, r core.Results) {
 	fmt.Printf("workload           %s + %s\n", norm.GPU, norm.CPU)
 	fmt.Printf("scheme             %s  layout %s  topo %s  routing %s\n",
 		cfg.Scheme, cfg.Layout.Name, cfg.NoC.Topology, cfg.NoC.Routing)
@@ -264,16 +301,6 @@ func main() {
 	if lb.Count > 0 {
 		fmt.Printf("load breakdown     queue %.0f  transit %.0f  serialize %.0f  deleg-wait %.0f  service %.0f  (%.1f legs, %.1f hops)\n",
 			lb.QueueAvg, lb.XferAvg, lb.SerAvg, lb.DelegWaitAvg, lb.ServiceAvg, lb.LegsAvg, lb.HopsAvg)
-	}
-
-	if *heatmap {
-		printHeatmaps(sys)
-	}
-	if *clogFlag && observer != nil {
-		fmt.Println()
-		if err := observer.Clog.Narrative(os.Stdout); err != nil {
-			fatalf("writing clog narrative: %v", err)
-		}
 	}
 }
 

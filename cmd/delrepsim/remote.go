@@ -1,0 +1,62 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"delrep/internal/fleet"
+	"delrep/internal/serve"
+	"delrep/internal/simspec"
+)
+
+// runRemote submits one spec to a delrepd or delrepfleet endpoint and
+// prints the served result. With -json the output is the canonical
+// simspec.Result — byte-identical to a local `delrepsim -json` run of
+// the same spec, which is the fleet's core invariant and the easiest
+// way to audit it:
+//
+//	delrepsim -gpu HS -cpu vips -json > local.json
+//	delrepsim -gpu HS -cpu vips -json -remote http://fleet:9090 > served.json
+//	cmp local.json served.json
+func runRemote(base string, spec simspec.Spec, jsonOut bool) {
+	// Resolve locally first: malformed specs fail fast with the usual
+	// message, and the human report needs the resolved configuration.
+	cfg, norm, err := spec.Resolve()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	client := fleet.NewClient(base, "delrepsim", nil)
+	ctx := context.Background()
+	if err := client.Ping(ctx); err != nil {
+		fatalf("%v", err)
+	}
+	view, err := client.Submit(ctx, spec)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if view.Status != serve.StatusDone {
+		fatalf("remote job %s ended %s: %s", view.ID, view.Status, view.Error)
+	}
+	if view.Result == nil {
+		fatalf("remote job %s: done without a result", view.ID)
+	}
+	// Stderr, so stdout stays exactly the result (or the canonical
+	// Result bytes under -json).
+	served := "remote"
+	if view.Worker != "" {
+		served = view.Worker
+	}
+	fmt.Fprintf(os.Stderr, "delrepsim: served by %s (source %s)\n", served, view.Source)
+
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(view.Result); err != nil {
+			fatalf("encoding results: %v", err)
+		}
+		return
+	}
+	printResults(cfg, norm, view.Result.Results)
+}

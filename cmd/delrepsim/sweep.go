@@ -1,11 +1,13 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"strings"
 
 	"delrep/internal/config"
+	"delrep/internal/fleet"
 	"delrep/internal/runner"
 	"delrep/internal/simspec"
 	"delrep/internal/stats"
@@ -67,8 +69,10 @@ func pruneCache(cacheFlag, sizeSpec string) {
 // -scheme lists through the parallel engine and prints one row per
 // run. Rows appear in declaration order (schemes outermost, then GPU,
 // then CPU benchmarks), whatever order the simulations finish in, so
-// the output is identical at any -j value and any cache state.
-func runSweep(cfg config.Config, gpuList, cpuList, schemeList string, jobs int, cacheFlag string) {
+// the output is identical at any -j value and any cache state. With
+// -remote, cache-missing points are delegated to the fleet instead of
+// executed here; the table is byte-identical either way.
+func runSweep(cfg config.Config, gpuList, cpuList, schemeList string, jobs int, cacheFlag, remote string) {
 	var schemes []config.Scheme
 	for _, s := range strings.Split(schemeList, ",") {
 		sc, err := simspec.ParseScheme(strings.TrimSpace(s))
@@ -92,7 +96,15 @@ func runSweep(cfg config.Config, gpuList, cpuList, schemeList string, jobs int, 
 	}
 
 	cache := openCache(cacheFlag)
-	eng := runner.New(runner.Options{Workers: jobs, Cache: cache, Progress: os.Stderr})
+	var resolver runner.Resolver
+	if remote != "" {
+		client := fleet.NewClient(remote, "delrepsim", nil)
+		if err := client.Ping(context.Background()); err != nil {
+			fatalf("%v", err)
+		}
+		resolver = client
+	}
+	eng := runner.New(runner.Options{Workers: jobs, Cache: cache, Progress: os.Stderr, Remote: resolver})
 	batch := eng.NewBatch()
 	for _, scheme := range schemes {
 		for _, g := range gpus {

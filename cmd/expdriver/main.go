@@ -20,9 +20,17 @@
 // machine has cores. Everything printed to stdout is byte-identical at
 // any -j or -parallel value and any cache state; progress, timing, and
 // cache accounting go to stderr.
+//
+// -remote URL delegates cache-missing simulations to a delrepd daemon
+// or a delrepfleet coordinator (see cmd/delrepfleet): points the wire
+// spec can express run on the fleet, exotic sensitivity points run
+// locally, and stdout remains byte-identical to a fully local run.
+// On failure the exit summary names each failed spec, the worker that
+// ran it, and the last error.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -30,6 +38,7 @@ import (
 	"sort"
 	"time"
 
+	"delrep/internal/fleet"
 	"delrep/internal/prof"
 	"delrep/internal/runner"
 )
@@ -107,6 +116,7 @@ func main() {
 		jobs     = flag.Int("j", runtime.GOMAXPROCS(0), "max concurrent simulations")
 		parallel = flag.Int("parallel", 0, "intra-run workers per simulation (stdout is byte-identical at any value; 0/1 = serial)")
 		cacheDir = flag.String("cache", "auto", `on-disk result cache: directory path, "auto" (per-user dir), or "off"`)
+		remote   = flag.String("remote", "", "delegate cache-missing simulations to a delrepd or delrepfleet endpoint at this base URL")
 
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -134,7 +144,17 @@ func main() {
 	}
 
 	cache := openCache(*cacheDir)
-	eng := runner.New(runner.Options{Workers: *jobs, RunParallel: *parallel, Cache: cache, Progress: os.Stderr})
+	var resolver runner.Resolver
+	if *remote != "" {
+		client := fleet.NewClient(*remote, "expdriver", nil)
+		if err := client.Ping(context.Background()); err != nil {
+			fmt.Fprintf(os.Stderr, "expdriver: %v\n", err)
+			os.Exit(2)
+		}
+		resolver = client
+		fmt.Fprintf(os.Stderr, "expdriver: delegating cache misses to %s\n", *remote)
+	}
+	eng := runner.New(runner.Options{Workers: *jobs, RunParallel: *parallel, Cache: cache, Progress: os.Stderr, Remote: resolver})
 	r := NewRunner(*quick, *seed, eng)
 	if *warm > 0 {
 		r.Warm = *warm
@@ -169,6 +189,13 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	// failureDetail pairs each figure with the failed runs it consumed,
+	// for the exit summary: which spec failed, on which worker, and why.
+	type figureFailures struct {
+		figure string
+		runs   []runner.Run
+	}
+	var failureDetail []figureFailures
 	var failed int64
 	for _, e := range experiments() {
 		if !want[e.name] {
@@ -176,6 +203,7 @@ func main() {
 		}
 		start := time.Now()
 		before := eng.Counters()
+		failsBefore := len(eng.Failures())
 		obsBefore, simsBefore := r.observed, r.obsSims
 
 		fmt.Printf("### %s — %s\n\n", e.name, e.about)
@@ -200,6 +228,9 @@ func main() {
 			failed += d
 			fmt.Fprintf(os.Stderr, "  %s: %d simulation(s) FAILED\n", e.name, d)
 		}
+		if fails := eng.Failures(); len(fails) > failsBefore {
+			failureDetail = append(failureDetail, figureFailures{e.name, fails[failsBefore:]})
+		}
 	}
 
 	c := eng.Counters()
@@ -211,9 +242,24 @@ func main() {
 		c.Executed+int64(r.obsSims), c.DiskHits+int64(r.observed-r.obsSims), c.MemoHits,
 		eng.Workers(), where)
 	// A figure built on failed runs is quietly wrong; make the failure
-	// impossible to miss in scripts and CI.
+	// impossible to miss in scripts and CI, and say exactly which spec
+	// broke, where it ran, and why, so a fleet-wide sweep failure is
+	// debuggable from the exit output alone.
 	if failed > 0 {
-		fmt.Fprintf(os.Stderr, "expdriver: %d simulation(s) failed\n", failed)
+		fmt.Fprintf(os.Stderr, "expdriver: %d simulation(s) failed:\n", failed)
+		for _, fd := range failureDetail {
+			for _, run := range fd.runs {
+				where := run.Worker
+				if where == "" {
+					where = "local"
+				}
+				fmt.Fprintf(os.Stderr, "  %s: %s+%s %s seed=%d (key %s) on %s: %v\n",
+					fd.figure, run.Spec.GPU, run.Spec.CPU, run.Spec.Cfg.Scheme,
+					run.Spec.Cfg.Seed,
+					runner.KeyHash(run.Spec.Cfg, run.Spec.GPU, run.Spec.CPU),
+					where, run.Err)
+			}
+		}
 		os.Exit(1)
 	}
 }

@@ -1,0 +1,98 @@
+package fleet
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeWorker is a minimal delrepd stand-in: /readyz toggles with the
+// up flag, /metrics exposes the three load gauges.
+func fakeWorker(up *atomic.Bool, slots int) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if !up.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, "delrepd_workers %d\ndelrepd_jobs_queued 3\ndelrepd_jobs_running 1\n", slots)
+	})
+	return mux
+}
+
+func waitFor(t *testing.T, what string, pred func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if pred() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestRegistryProbesAndRecovers(t *testing.T) {
+	var up atomic.Bool
+	up.Store(true)
+	ts := httptest.NewServer(fakeWorker(&up, 4))
+	defer ts.Close()
+
+	reg := NewRegistry([]string{ts.URL}, 20*time.Millisecond, nil, nil)
+	defer reg.Close()
+
+	waitFor(t, "worker ready", func() bool { return reg.Ready(ts.URL) })
+	info := reg.Info(ts.URL)
+	if info.Slots != 4 || info.Queued != 3 || info.Running != 1 {
+		t.Fatalf("scraped info = %+v, want slots=4 queued=3 running=1", info)
+	}
+
+	// A failing readyz takes the worker down…
+	up.Store(false)
+	waitFor(t, "worker down", func() bool { return !reg.Ready(ts.URL) })
+	// …and recovery brings it back once the backoff allows a re-probe.
+	up.Store(true)
+	waitFor(t, "worker recovered", func() bool { return reg.Ready(ts.URL) })
+}
+
+func TestRegistryMarkFailedIsImmediate(t *testing.T) {
+	var up atomic.Bool
+	up.Store(true)
+	ts := httptest.NewServer(fakeWorker(&up, 2))
+	defer ts.Close()
+
+	// A long probe interval isolates MarkFailed from the probe loop.
+	reg := NewRegistry([]string{ts.URL}, time.Hour, nil, nil)
+	defer reg.Close()
+	waitFor(t, "worker ready", func() bool { return reg.Ready(ts.URL) })
+
+	reg.MarkFailed(ts.URL, "connection refused")
+	if reg.Ready(ts.URL) {
+		t.Fatal("worker still ready immediately after MarkFailed")
+	}
+	if info := reg.Info(ts.URL); info.Failures == 0 || info.LastError == "" {
+		t.Fatalf("failure not recorded: %+v", info)
+	}
+}
+
+func TestRegistryOutstanding(t *testing.T) {
+	reg := NewRegistry([]string{"http://nowhere.invalid:1"}, time.Hour, nil, nil)
+	defer reg.Close()
+	reg.AddOutstanding("http://nowhere.invalid:1", 1)
+	reg.AddOutstanding("http://nowhere.invalid:1", 1)
+	reg.AddOutstanding("http://nowhere.invalid:1", -1)
+	if got := reg.Info("http://nowhere.invalid:1").Outstanding; got != 1 {
+		t.Fatalf("outstanding = %d, want 1", got)
+	}
+	// Never negative, even on unbalanced decrements.
+	reg.AddOutstanding("http://nowhere.invalid:1", -5)
+	if got := reg.Info("http://nowhere.invalid:1").Outstanding; got != 0 {
+		t.Fatalf("outstanding = %d, want 0", got)
+	}
+}

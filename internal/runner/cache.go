@@ -3,7 +3,6 @@ package runner
 import (
 	"crypto/sha256"
 	"encoding/gob"
-	"encoding/hex"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -116,8 +115,7 @@ type blobEntry struct {
 }
 
 func (c *DiskCache) path(key, ext string) string {
-	sum := sha256.Sum256([]byte(Version + "\x00" + key))
-	return filepath.Join(c.dir, hex.EncodeToString(sum[:])+ext)
+	return filepath.Join(c.dir, CacheAddr(key)+ext)
 }
 
 // Get returns the cached results and end-state digest for a run key,
@@ -135,6 +133,32 @@ func (c *DiskCache) Get(key string) (res core.Results, digest uint64, ok bool) {
 		// The entry existed but failed to decode or verify: a
 		// truncated or stale-format file, counted separately from a
 		// plain miss so operators see corruption distinctly.
+		c.corrupt.Add(1)
+		return core.Results{}, 0, false
+	}
+	c.hits.Add(1)
+	return e.Results, e.Digest, true
+}
+
+// GetAddr returns the cached results and digest for a content address
+// (see CacheAddr), or ok=false on any miss, mismatch, or decoding
+// failure. It backs the worker's GET /v1/cache/{key} endpoint: the
+// caller knows only the address, so the stored key is re-hashed and
+// verified against it — a filename collision or a hand-crafted address
+// degrades to a miss, never to a wrong result.
+func (c *DiskCache) GetAddr(addr string) (res core.Results, digest uint64, ok bool) {
+	if len(addr) != 2*sha256.Size || strings.ContainsAny(addr, "/.\\") {
+		return core.Results{}, 0, false // never escape the cache dir
+	}
+	f, err := os.Open(filepath.Join(c.dir, addr+".run"))
+	if err != nil {
+		c.misses.Add(1)
+		return core.Results{}, 0, false
+	}
+	defer f.Close()
+	var e entry
+	if err := gob.NewDecoder(f).Decode(&e); err != nil ||
+		e.Version != Version || CacheAddr(e.Key) != addr {
 		c.corrupt.Add(1)
 		return core.Results{}, 0, false
 	}

@@ -41,6 +41,7 @@ package runner
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
@@ -85,6 +86,37 @@ func (s Source) String() string {
 	return "???"
 }
 
+// Resolver resolves a spec to a finished result somewhere other than
+// this process — a fleet coordinator or a remote delrepd daemon
+// (implemented by fleet.Client). Plugging one into Options.Remote
+// turns the engine into a fleet client: dedup, batching, ordering,
+// progress, and the local disk cache all keep working, but execution
+// happens across the wire.
+type Resolver interface {
+	// Resolve returns the run's results and digest, how the remote end
+	// obtained them (executed / memo / disk), and which worker served
+	// them. Returning an error wrapping ErrNotRemotable means the spec
+	// cannot be expressed in the wire form; the engine then falls back
+	// to executing locally. Any other error fails the run (the resolver
+	// is expected to have already retried/failed over internally).
+	Resolve(ctx context.Context, spec Spec, parallel int) (Remote, error)
+}
+
+// Remote is one remotely resolved run.
+type Remote struct {
+	Results core.Results
+	Digest  uint64
+	Source  Source // how the remote end obtained the result
+	Worker  string // base URL of the worker daemon that served it
+}
+
+// ErrNotRemotable marks a spec that cannot be expressed as a wire
+// simspec (an experiment that mutates configuration knobs the JSON
+// spec does not carry). The engine treats it as "run this one
+// locally", so hybrid sweeps — most points through the fleet, exotic
+// points in-process — still deliver byte-identical output.
+var ErrNotRemotable = errors.New("spec is not expressible as a wire spec")
+
 // Run is one delivered simulation result.
 type Run struct {
 	Spec    Spec
@@ -101,6 +133,10 @@ type Run struct {
 	// disk hits (those ran elsewhere, possibly at another N), and
 	// never part of Results or the cache.
 	Workers int
+	// Worker is the base URL of the fleet worker that served the run,
+	// when it was resolved through Options.Remote; empty for local
+	// executions and cache hits. Execution metadata only.
+	Worker string
 	// Err is non-nil when the run did not produce a result: the
 	// simulation was cancelled (context.Canceled) or panicked. Results
 	// and Digest are zero in that case, and the run was neither cached
@@ -137,6 +173,13 @@ type Options struct {
 	// value, so it does not enter the memo/cache Key, and SubmitCtxParallel
 	// can override it per submission.
 	RunParallel int
+	// Remote, when non-nil, resolves cache-missing specs through a
+	// fleet coordinator (or a single remote daemon) instead of
+	// simulating locally. Specs the wire form cannot express
+	// (ErrNotRemotable) still execute locally. Remotely resolved
+	// results are written into the local disk cache, so a warm rerun
+	// needs no fleet at all.
+	Remote Resolver
 }
 
 // Engine is a deterministic parallel execution engine for independent
@@ -146,6 +189,7 @@ type Engine struct {
 	progress    io.Writer
 	sem         chan struct{}
 	runParallel int
+	remote      Resolver
 
 	// progressMu serializes writes to progress and guards nothing
 	// else: a slow progress writer (a piped stderr, a test buffer)
@@ -161,7 +205,19 @@ type Engine struct {
 
 	mu   sync.Mutex
 	memo map[string]*Future
+
+	// failMu guards failures: the terminal Run of every execution that
+	// ended in error, kept so drivers can print a per-run failure
+	// summary (which spec, which worker, what error) instead of only a
+	// count. Bounded by maxFailures to keep a pathological sweep from
+	// accumulating without limit.
+	failMu   sync.Mutex
+	failures []Run
 }
+
+// maxFailures bounds the retained failure detail; the Failed counter
+// keeps exact totals regardless.
+const maxFailures = 256
 
 // New builds an Engine.
 func New(opts Options) *Engine {
@@ -174,6 +230,7 @@ func New(opts Options) *Engine {
 		progress:    opts.Progress,
 		sem:         make(chan struct{}, n),
 		runParallel: opts.RunParallel,
+		remote:      opts.Remote,
 		memo:        map[string]*Future{},
 	}
 }
@@ -343,6 +400,11 @@ func (e *Engine) execute(f *Future, runCtx context.Context) {
 			delete(e.memo, f.key)
 			e.mu.Unlock()
 			e.failed.Add(1)
+			e.failMu.Lock()
+			if len(e.failures) < maxFailures {
+				e.failures = append(e.failures, f.run)
+			}
+			e.failMu.Unlock()
 		}
 		close(f.done)
 	}()
@@ -371,6 +433,13 @@ func (e *Engine) execute(f *Future, runCtx context.Context) {
 		}
 	}
 
+	if e.remote != nil {
+		if done := e.resolveRemote(f, runCtx); done {
+			return
+		}
+		// ErrNotRemotable: fall through to a local execution.
+	}
+
 	if e.progress != nil {
 		line := fmt.Sprintf("  run %-5s + %-12s %s %s %s...\n",
 			f.spec.GPU, f.spec.CPU, f.spec.Cfg.Scheme,
@@ -397,6 +466,62 @@ func (e *Engine) execute(f *Future, runCtx context.Context) {
 		// Best effort: a full or read-only cache must not fail the run.
 		_ = e.cache.Put(f.key, a.Digest, a.Results)
 	}
+}
+
+// resolveRemote resolves one cache-missing spec through the engine's
+// remote resolver. It reports done=false only for ErrNotRemotable
+// specs, which the caller then executes locally; every other outcome
+// (success or failure) finalizes the future. A resolved result is
+// written into the local disk cache, so the fleet is consulted at most
+// once per spec per cache lifetime.
+func (e *Engine) resolveRemote(f *Future, runCtx context.Context) (done bool) {
+	span := f.span.Start("fleet.resolve")
+	rem, err := e.remote.Resolve(runCtx, f.spec, f.parallel)
+	if errors.Is(err, ErrNotRemotable) {
+		span.Set("fallback", "local")
+		span.End()
+		return false
+	}
+	if err != nil {
+		span.Set("error", err.Error())
+		span.End()
+		f.run = Run{Spec: f.spec, Err: err, Worker: rem.Worker}
+		return true
+	}
+	span.Set("worker", rem.Worker)
+	span.Set("source", rem.Source.String())
+	span.End()
+	// Count the resolution under the source the fleet reports, so a
+	// driver's delivered-run accounting (executed + disk + memo) sums
+	// identically whether runs happened here or across the wire.
+	switch rem.Source {
+	case SourceMemo:
+		e.memoHits.Add(1)
+	case SourceDisk:
+		e.diskHits.Add(1)
+	default:
+		e.executed.Add(1)
+	}
+	total := f.spec.Cfg.WarmupCycles + f.spec.Cfg.MeasureCycles
+	f.progTotal.Store(total)
+	f.progDone.Store(total)
+	f.run = Run{Spec: f.spec, Results: rem.Results, Digest: rem.Digest,
+		Source: rem.Source, Worker: rem.Worker}
+	if e.cache != nil {
+		_ = e.cache.Put(f.key, rem.Digest, rem.Results)
+	}
+	return true
+}
+
+// Failures returns the retained terminal Runs of executions that ended
+// in error (cancelled, panicked, or failed remotely), in completion
+// order, capped at an internal bound. The slice is a copy.
+func (e *Engine) Failures() []Run {
+	e.failMu.Lock()
+	defer e.failMu.Unlock()
+	out := make([]Run, len(e.failures))
+	copy(out, e.failures)
+	return out
 }
 
 // runAudit executes the simulation under the future's run context,

@@ -1,0 +1,86 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+
+	"delrep/internal/runner"
+)
+
+// GET /v1/cache/{key} exposes the daemon's disk cache as a shard of
+// the fleet's distributed cache tier: 200 with the stored results on a
+// hit, 404 on a miss or when running uncached.
+func TestCacheEndpoint(t *testing.T) {
+	cache, err := runner.OpenDiskCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := runner.New(runner.Options{Workers: 1, Cache: cache})
+	_, ts := newTestServer(t, Options{Engine: eng})
+
+	spec := shortSpec(601)
+	cfg, norm, err := spec.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := runner.CacheAddr(runner.Key(cfg, norm.GPU, norm.CPU))
+
+	// Before any run: a miss.
+	resp, err := http.Get(ts.URL + "/v1/cache/" + addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("cold cache: status %d, want 404", resp.StatusCode)
+	}
+
+	view, _ := submit(t, ts, SubmitRequest{Spec: spec}, "?wait=1")
+	if view.Status != StatusDone || view.Result == nil {
+		t.Fatalf("job ended %s", view.Status)
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/cache/" + addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm cache: status %d, want 200", resp.StatusCode)
+	}
+	var entry CacheEntry
+	if err := json.NewDecoder(resp.Body).Decode(&entry); err != nil {
+		t.Fatal(err)
+	}
+	if entry.Results != view.Result.Results {
+		t.Errorf("cache entry results differ from the job's")
+	}
+	if entry.Digest != view.Result.Digest {
+		t.Errorf("cache digest %s != job digest %s", entry.Digest, view.Result.Digest)
+	}
+
+	// A bogus address is a plain miss, not an error.
+	resp, err = http.Get(ts.URL + "/v1/cache/" + fmt.Sprintf("%064x", 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("bogus key: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// An uncached daemon reports every probe as a miss.
+func TestCacheEndpointUncached(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	resp, err := http.Get(ts.URL + "/v1/cache/" + fmt.Sprintf("%064x", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("uncached daemon: status %d, want 404", resp.StatusCode)
+	}
+}

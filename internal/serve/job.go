@@ -104,14 +104,19 @@ type Job struct {
 	spanQueue *telemetry.Span // open queue.wait span, ended at dispatch
 }
 
-// progressView is the running-job progress fragment of a job view.
-type progressView struct {
+// ProgressView is the running-job progress fragment of a job view.
+// Exported because it is wire format: the fleet coordinator
+// (internal/fleet) re-emits it verbatim when proxying worker progress.
+type ProgressView struct {
 	CyclesDone  int64 `json:"cycles_done"`
 	CyclesTotal int64 `json:"cycles_total"`
 }
 
-// jobView is the JSON rendering of a job returned by the API.
-type jobView struct {
+// JobView is the JSON rendering of a job returned by the API. It is
+// the shared wire form of the /v1/jobs surface: delrepd serves it, the
+// fleet coordinator serves the same shape (so every client works
+// against either), and fleet clients decode it.
+type JobView struct {
 	ID       string       `json:"id"`
 	Status   Status       `json:"status"`
 	Priority string       `json:"priority"`
@@ -130,13 +135,17 @@ type jobView struct {
 	// byte-identical across worker counts. Omitted for memo/disk
 	// hits, which ran elsewhere.
 	Workers  int             `json:"workers,omitempty"`
-	Progress *progressView   `json:"progress,omitempty"`
+	Progress *ProgressView   `json:"progress,omitempty"`
 	Result   *simspec.Result `json:"result,omitempty"`
+	// Worker is the base URL of the worker daemon that served the job.
+	// Only the fleet coordinator sets it; a single delrepd leaves it
+	// empty (it is its own worker).
+	Worker string `json:"worker,omitempty"`
 }
 
 // viewLocked renders the job; the server's mutex must be held.
-func (j *Job) viewLocked() jobView {
-	v := jobView{
+func (j *Job) viewLocked() JobView {
+	v := JobView{
 		ID:       j.id,
 		Status:   j.status,
 		Priority: j.prio.String(),
@@ -156,7 +165,7 @@ func (j *Job) viewLocked() jobView {
 	}
 	if j.status == StatusRunning && j.fut != nil {
 		done, total := j.fut.Progress()
-		v.Progress = &progressView{CyclesDone: done, CyclesTotal: total}
+		v.Progress = &ProgressView{CyclesDone: done, CyclesTotal: total}
 	}
 	if j.status == StatusDone {
 		v.Source = j.run.Source.String()

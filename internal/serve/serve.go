@@ -24,6 +24,11 @@
 //	                            trace-event JSON (?format=tree for the
 //	                            nested form); requires Options.Telemetry
 //	DELETE /v1/jobs/{id}        cancel a queued or running job
+//	GET    /v1/cache/{key}      cached result by content address
+//	                            (runner.CacheAddr); 404 on miss. Lets a
+//	                            fleet coordinator use this daemon's warm
+//	                            disk cache as one shard of a distributed
+//	                            cache tier without enqueueing a job
 //	GET    /healthz             liveness (always ok while serving)
 //	GET    /readyz              readiness (503 once draining)
 //	GET    /metrics             text exposition of queue depth, worker
@@ -212,6 +217,7 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
+	s.mux.HandleFunc("GET /v1/cache/{key}", s.handleCacheGet)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -237,8 +243,11 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Workers returns the concurrent-job bound.
 func (s *Server) Workers() int { return s.workers }
 
-// submitRequest is the POST /v1/jobs body.
-type submitRequest struct {
+// SubmitRequest is the POST /v1/jobs body — shared wire format:
+// delrepd and the fleet coordinator accept the same shape, and the
+// coordinator forwards it (spec as submitted, priority, client)
+// verbatim to the worker it routes the job to.
+type SubmitRequest struct {
 	Spec     simspec.Spec `json:"spec"`
 	Priority string       `json:"priority,omitempty"`
 	Client   string       `json:"client,omitempty"`
@@ -270,7 +279,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		tr = telemetry.New("job")
 		recv = tr.Root().Start("http.receive")
 	}
-	var req submitRequest
+	var req SubmitRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
@@ -403,7 +412,7 @@ func (s *Server) retryAfterLocked() int {
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
-	views := make([]jobView, 0, len(s.order))
+	views := make([]JobView, 0, len(s.order))
 	for _, j := range s.order {
 		v := j.viewLocked()
 		v.Result = nil // keep listings light; fetch the job for results
@@ -411,7 +420,7 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, struct {
-		Jobs []jobView `json:"jobs"`
+		Jobs []JobView `json:"jobs"`
 	}{views})
 }
 
@@ -652,7 +661,7 @@ func (s *Server) runJob(j *Job) {
 // recorder entry. Callers may hold s.mu (lock order is s.mu →
 // trace.mu, never reversed); the job fields read here are immutable
 // once the job is terminal.
-func (s *Server) retireTrace(j *Job, view jobView, status Status) {
+func (s *Server) retireTrace(j *Job, view JobView, status Status) {
 	if j.trace == nil {
 		return
 	}

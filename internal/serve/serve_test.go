@@ -46,7 +46,7 @@ func newTestServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
 	return s, ts
 }
 
-func submit(t *testing.T, ts *httptest.Server, req submitRequest, query string) (jobView, *http.Response) {
+func submit(t *testing.T, ts *httptest.Server, req SubmitRequest, query string) (JobView, *http.Response) {
 	t.Helper()
 	b, err := json.Marshal(req)
 	if err != nil {
@@ -57,7 +57,7 @@ func submit(t *testing.T, ts *httptest.Server, req submitRequest, query string) 
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var v jobView
+	var v JobView
 	if resp.StatusCode == http.StatusAccepted || resp.StatusCode == http.StatusOK {
 		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
 			t.Fatalf("decoding submit response: %v", err)
@@ -66,7 +66,7 @@ func submit(t *testing.T, ts *httptest.Server, req submitRequest, query string) 
 	return v, resp
 }
 
-func getJob(t *testing.T, ts *httptest.Server, id string) jobView {
+func getJob(t *testing.T, ts *httptest.Server, id string) JobView {
 	t.Helper()
 	resp, err := http.Get(ts.URL + "/v1/jobs/" + id)
 	if err != nil {
@@ -76,7 +76,7 @@ func getJob(t *testing.T, ts *httptest.Server, id string) jobView {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("GET job %s: status %d", id, resp.StatusCode)
 	}
-	var v jobView
+	var v JobView
 	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +84,7 @@ func getJob(t *testing.T, ts *httptest.Server, id string) jobView {
 }
 
 // pollUntil polls the job until pred holds or the deadline passes.
-func pollUntil(t *testing.T, ts *httptest.Server, id string, pred func(jobView) bool) jobView {
+func pollUntil(t *testing.T, ts *httptest.Server, id string, pred func(JobView) bool) JobView {
 	t.Helper()
 	deadline := time.Now().Add(30 * time.Second)
 	for time.Now().Before(deadline) {
@@ -95,7 +95,7 @@ func pollUntil(t *testing.T, ts *httptest.Server, id string, pred func(jobView) 
 		time.Sleep(10 * time.Millisecond)
 	}
 	t.Fatalf("job %s: condition not reached before deadline (last: %+v)", id, getJob(t, ts, id))
-	return jobView{}
+	return JobView{}
 }
 
 func cancelJob(t *testing.T, ts *httptest.Server, id string) *http.Response {
@@ -137,14 +137,14 @@ func TestEndToEndByteIdentical(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	v, resp := submit(t, ts, submitRequest{Spec: spec}, "")
+	v, resp := submit(t, ts, SubmitRequest{Spec: spec}, "")
 	if resp.StatusCode != http.StatusAccepted {
 		t.Fatalf("submit: status %d", resp.StatusCode)
 	}
 	if v.Status != StatusQueued && v.Status != StatusRunning {
 		t.Fatalf("fresh job status = %s", v.Status)
 	}
-	done := pollUntil(t, ts, v.ID, func(v jobView) bool { return v.Status.Terminal() })
+	done := pollUntil(t, ts, v.ID, func(v JobView) bool { return v.Status.Terminal() })
 	if done.Status != StatusDone {
 		t.Fatalf("job ended %s (%s)", done.Status, done.Error)
 	}
@@ -167,7 +167,7 @@ func TestEndToEndByteIdentical(t *testing.T) {
 	}
 	eng2 := runner.New(runner.Options{Workers: 1, Cache: cache2})
 	_, ts2 := newTestServer(t, Options{Engine: eng2})
-	v2, _ := submit(t, ts2, submitRequest{Spec: spec}, "?wait=1")
+	v2, _ := submit(t, ts2, SubmitRequest{Spec: spec}, "?wait=1")
 	if v2.Status != StatusDone {
 		t.Fatalf("cached job ended %s (%s)", v2.Status, v2.Error)
 	}
@@ -221,7 +221,7 @@ func TestSubmitParallelSpec(t *testing.T) {
 	_, ts := newTestServer(t, Options{MaxRunParallel: 4})
 	spec := shortSpec(77)
 	spec.Parallel = 8
-	v, resp := submit(t, ts, submitRequest{Spec: spec}, "?wait")
+	v, resp := submit(t, ts, SubmitRequest{Spec: spec}, "?wait")
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("submit: status %d", resp.StatusCode)
 	}
@@ -279,23 +279,23 @@ func TestSubmitValidation(t *testing.T) {
 func TestCancelRunningFreesWorker(t *testing.T) {
 	_, ts := newTestServer(t, Options{Engine: runner.New(runner.Options{Workers: 1}), Workers: 1})
 
-	long, resp := submit(t, ts, submitRequest{Spec: longSpec(21)}, "")
+	long, resp := submit(t, ts, SubmitRequest{Spec: longSpec(21)}, "")
 	if resp.StatusCode != http.StatusAccepted {
 		t.Fatalf("submit: status %d", resp.StatusCode)
 	}
-	pollUntil(t, ts, long.ID, func(v jobView) bool { return v.Status == StatusRunning })
+	pollUntil(t, ts, long.ID, func(v JobView) bool { return v.Status == StatusRunning })
 
-	short, _ := submit(t, ts, submitRequest{Spec: shortSpec(22)}, "")
+	short, _ := submit(t, ts, SubmitRequest{Spec: shortSpec(22)}, "")
 
 	if resp := cancelJob(t, ts, long.ID); resp.StatusCode != http.StatusOK {
 		t.Fatalf("cancel: status %d", resp.StatusCode)
 	}
-	v := pollUntil(t, ts, long.ID, func(v jobView) bool { return v.Status.Terminal() })
+	v := pollUntil(t, ts, long.ID, func(v JobView) bool { return v.Status.Terminal() })
 	if v.Status != StatusCancelled {
 		t.Fatalf("cancelled job ended %s", v.Status)
 	}
 	// The freed slot must run the short job to completion.
-	v = pollUntil(t, ts, short.ID, func(v jobView) bool { return v.Status.Terminal() })
+	v = pollUntil(t, ts, short.ID, func(v JobView) bool { return v.Status.Terminal() })
 	if v.Status != StatusDone {
 		t.Fatalf("follow-up job ended %s (%s)", v.Status, v.Error)
 	}
@@ -317,7 +317,7 @@ func TestParallelJobsReleaseWorkers(t *testing.T) {
 	par := func(spec simspec.Spec) simspec.Spec { spec.Parallel = 4; return spec }
 
 	// Completed parallel job.
-	v, _ := submit(t, ts, submitRequest{Spec: par(shortSpec(41))}, "?wait")
+	v, _ := submit(t, ts, SubmitRequest{Spec: par(shortSpec(41))}, "?wait")
 	if v.Status != StatusDone {
 		t.Fatalf("job ended %s (%s)", v.Status, v.Error)
 	}
@@ -326,16 +326,16 @@ func TestParallelJobsReleaseWorkers(t *testing.T) {
 	}
 
 	// Cancelled mid-run.
-	long, _ := submit(t, ts, submitRequest{Spec: par(longSpec(42))}, "")
-	pollUntil(t, ts, long.ID, func(v jobView) bool { return v.Status == StatusRunning })
+	long, _ := submit(t, ts, SubmitRequest{Spec: par(longSpec(42))}, "")
+	pollUntil(t, ts, long.ID, func(v JobView) bool { return v.Status == StatusRunning })
 	if resp := cancelJob(t, ts, long.ID); resp.StatusCode != http.StatusOK {
 		t.Fatalf("cancel: status %d", resp.StatusCode)
 	}
-	pollUntil(t, ts, long.ID, func(v jobView) bool { return v.Status.Terminal() })
+	pollUntil(t, ts, long.ID, func(v JobView) bool { return v.Status.Terminal() })
 
 	// Shutdown with a parallel job still running.
-	run2, _ := submit(t, ts, submitRequest{Spec: par(longSpec(43))}, "")
-	pollUntil(t, ts, run2.ID, func(v jobView) bool { return v.Status == StatusRunning })
+	run2, _ := submit(t, ts, SubmitRequest{Spec: par(longSpec(43))}, "")
+	pollUntil(t, ts, run2.ID, func(v JobView) bool { return v.Status == StatusRunning })
 	ts.Close()
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
@@ -357,9 +357,9 @@ func TestParallelJobsReleaseWorkers(t *testing.T) {
 // Cancelling a queued job retires it without it ever running.
 func TestCancelQueued(t *testing.T) {
 	_, ts := newTestServer(t, Options{Engine: runner.New(runner.Options{Workers: 1}), Workers: 1})
-	long, _ := submit(t, ts, submitRequest{Spec: longSpec(31)}, "")
-	pollUntil(t, ts, long.ID, func(v jobView) bool { return v.Status == StatusRunning })
-	queued, _ := submit(t, ts, submitRequest{Spec: longSpec(32)}, "")
+	long, _ := submit(t, ts, SubmitRequest{Spec: longSpec(31)}, "")
+	pollUntil(t, ts, long.ID, func(v JobView) bool { return v.Status == StatusRunning })
+	queued, _ := submit(t, ts, SubmitRequest{Spec: longSpec(32)}, "")
 	if resp := cancelJob(t, ts, queued.ID); resp.StatusCode != http.StatusOK {
 		t.Fatalf("cancel queued: status %d", resp.StatusCode)
 	}
@@ -375,13 +375,13 @@ func TestQueueOverflow429(t *testing.T) {
 	_, ts := newTestServer(t, Options{
 		Engine: runner.New(runner.Options{Workers: 1}), Workers: 1, QueueDepth: 1,
 	})
-	running, _ := submit(t, ts, submitRequest{Spec: longSpec(41)}, "")
-	pollUntil(t, ts, running.ID, func(v jobView) bool { return v.Status == StatusRunning })
-	queued, resp := submit(t, ts, submitRequest{Spec: longSpec(42)}, "")
+	running, _ := submit(t, ts, SubmitRequest{Spec: longSpec(41)}, "")
+	pollUntil(t, ts, running.ID, func(v JobView) bool { return v.Status == StatusRunning })
+	queued, resp := submit(t, ts, SubmitRequest{Spec: longSpec(42)}, "")
 	if resp.StatusCode != http.StatusAccepted {
 		t.Fatalf("second submit: status %d", resp.StatusCode)
 	}
-	_, resp = submit(t, ts, submitRequest{Spec: longSpec(43)}, "")
+	_, resp = submit(t, ts, SubmitRequest{Spec: longSpec(43)}, "")
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("overflow submit: status %d, want 429", resp.StatusCode)
 	}
@@ -390,7 +390,7 @@ func TestQueueOverflow429(t *testing.T) {
 	}
 	// Free the queue slot: admission recovers.
 	cancelJob(t, ts, queued.ID)
-	third, resp := submit(t, ts, submitRequest{Spec: longSpec(44)}, "")
+	third, resp := submit(t, ts, SubmitRequest{Spec: longSpec(44)}, "")
 	if resp.StatusCode != http.StatusAccepted {
 		t.Fatalf("post-drain submit: status %d", resp.StatusCode)
 	}
@@ -404,19 +404,19 @@ func TestClientCap429(t *testing.T) {
 	_, ts := newTestServer(t, Options{
 		Engine: runner.New(runner.Options{Workers: 1}), Workers: 1, ClientInFlight: 1,
 	})
-	a1, _ := submit(t, ts, submitRequest{Spec: longSpec(51), Client: "alice"}, "")
-	_, resp := submit(t, ts, submitRequest{Spec: longSpec(52), Client: "alice"}, "")
+	a1, _ := submit(t, ts, SubmitRequest{Spec: longSpec(51), Client: "alice"}, "")
+	_, resp := submit(t, ts, SubmitRequest{Spec: longSpec(52), Client: "alice"}, "")
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("capped submit: status %d, want 429", resp.StatusCode)
 	}
-	b1, resp := submit(t, ts, submitRequest{Spec: longSpec(53), Client: "bob"}, "")
+	b1, resp := submit(t, ts, SubmitRequest{Spec: longSpec(53), Client: "bob"}, "")
 	if resp.StatusCode != http.StatusAccepted {
 		t.Fatalf("other client: status %d", resp.StatusCode)
 	}
 	// Alice's job finishing readmits her.
 	cancelJob(t, ts, a1.ID)
-	pollUntil(t, ts, a1.ID, func(v jobView) bool { return v.Status.Terminal() })
-	a2, resp := submit(t, ts, submitRequest{Spec: longSpec(54), Client: "alice"}, "")
+	pollUntil(t, ts, a1.ID, func(v JobView) bool { return v.Status.Terminal() })
+	a2, resp := submit(t, ts, SubmitRequest{Spec: longSpec(54), Client: "alice"}, "")
 	if resp.StatusCode != http.StatusAccepted {
 		t.Fatalf("readmitted submit: status %d", resp.StatusCode)
 	}
@@ -427,13 +427,13 @@ func TestClientCap429(t *testing.T) {
 // Queued high-priority jobs dispatch before queued normal ones.
 func TestPriorityDispatch(t *testing.T) {
 	_, ts := newTestServer(t, Options{Engine: runner.New(runner.Options{Workers: 1}), Workers: 1})
-	gate, _ := submit(t, ts, submitRequest{Spec: longSpec(61)}, "")
-	pollUntil(t, ts, gate.ID, func(v jobView) bool { return v.Status == StatusRunning })
-	low, _ := submit(t, ts, submitRequest{Spec: shortSpec(62), Priority: "low"}, "")
-	high, _ := submit(t, ts, submitRequest{Spec: shortSpec(63), Priority: "high"}, "")
+	gate, _ := submit(t, ts, SubmitRequest{Spec: longSpec(61)}, "")
+	pollUntil(t, ts, gate.ID, func(v JobView) bool { return v.Status == StatusRunning })
+	low, _ := submit(t, ts, SubmitRequest{Spec: shortSpec(62), Priority: "low"}, "")
+	high, _ := submit(t, ts, SubmitRequest{Spec: shortSpec(63), Priority: "high"}, "")
 	cancelJob(t, ts, gate.ID)
-	lv := pollUntil(t, ts, low.ID, func(v jobView) bool { return v.Status.Terminal() })
-	hv := pollUntil(t, ts, high.ID, func(v jobView) bool { return v.Status.Terminal() })
+	lv := pollUntil(t, ts, low.ID, func(v JobView) bool { return v.Status.Terminal() })
+	hv := pollUntil(t, ts, high.ID, func(v JobView) bool { return v.Status.Terminal() })
 	if lv.Status != StatusDone || hv.Status != StatusDone {
 		t.Fatalf("jobs ended %s / %s", lv.Status, hv.Status)
 	}
@@ -451,7 +451,7 @@ func TestPriorityDispatch(t *testing.T) {
 // its job.
 func TestWaitDisconnectCancels(t *testing.T) {
 	_, ts := newTestServer(t, Options{Engine: runner.New(runner.Options{Workers: 1}), Workers: 1})
-	body, _ := json.Marshal(submitRequest{Spec: longSpec(71)})
+	body, _ := json.Marshal(SubmitRequest{Spec: longSpec(71)})
 	ctx, cancel := context.WithCancel(context.Background())
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/jobs?wait=1", bytes.NewReader(body))
 	if err != nil {
@@ -477,7 +477,7 @@ func TestWaitDisconnectCancels(t *testing.T) {
 			t.Fatal(err)
 		}
 		var list struct {
-			Jobs []jobView `json:"jobs"`
+			Jobs []JobView `json:"jobs"`
 		}
 		if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
 			t.Fatal(err)
@@ -493,7 +493,7 @@ func TestWaitDisconnectCancels(t *testing.T) {
 	}
 	cancel()
 	<-errCh
-	v := pollUntil(t, ts, id, func(v jobView) bool { return v.Status.Terminal() })
+	v := pollUntil(t, ts, id, func(v JobView) bool { return v.Status.Terminal() })
 	if v.Status != StatusCancelled {
 		t.Fatalf("abandoned job ended %s", v.Status)
 	}
@@ -505,9 +505,9 @@ func TestShutdownDrains(t *testing.T) {
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
-	running, _ := submit(t, ts, submitRequest{Spec: shortSpec(81)}, "")
-	pollUntil(t, ts, running.ID, func(v jobView) bool { return v.Status != StatusQueued })
-	queued, _ := submit(t, ts, submitRequest{Spec: shortSpec(82)}, "")
+	running, _ := submit(t, ts, SubmitRequest{Spec: shortSpec(81)}, "")
+	pollUntil(t, ts, running.ID, func(v JobView) bool { return v.Status != StatusQueued })
+	queued, _ := submit(t, ts, SubmitRequest{Spec: shortSpec(82)}, "")
 
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
@@ -521,7 +521,7 @@ func TestShutdownDrains(t *testing.T) {
 		t.Fatalf("queued job ended %s, want cancelled", v.Status)
 	}
 	// Draining refuses new work and reports unready.
-	_, resp := submit(t, ts, submitRequest{Spec: shortSpec(83)}, "")
+	_, resp := submit(t, ts, SubmitRequest{Spec: shortSpec(83)}, "")
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("post-shutdown submit: status %d, want 503", resp.StatusCode)
 	}
@@ -541,8 +541,8 @@ func TestShutdownDeadlineCancelsRunning(t *testing.T) {
 	s := New(Options{Engine: runner.New(runner.Options{Workers: 1}), Workers: 1})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
-	long, _ := submit(t, ts, submitRequest{Spec: longSpec(91)}, "")
-	pollUntil(t, ts, long.ID, func(v jobView) bool { return v.Status == StatusRunning })
+	long, _ := submit(t, ts, SubmitRequest{Spec: longSpec(91)}, "")
+	pollUntil(t, ts, long.ID, func(v JobView) bool { return v.Status == StatusRunning })
 
 	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
 	defer cancel()
@@ -559,7 +559,7 @@ func TestShutdownDeadlineCancelsRunning(t *testing.T) {
 // carrying the result.
 func TestEventsStream(t *testing.T) {
 	_, ts := newTestServer(t, Options{ProgressInterval: 20 * time.Millisecond})
-	v, _ := submit(t, ts, submitRequest{Spec: shortSpec(101)}, "")
+	v, _ := submit(t, ts, SubmitRequest{Spec: shortSpec(101)}, "")
 	resp, err := http.Get(ts.URL + "/v1/jobs/" + v.ID + "/events")
 	if err != nil {
 		t.Fatal(err)
@@ -583,7 +583,7 @@ func TestEventsStream(t *testing.T) {
 	if len(events) == 0 || events[len(events)-1] != "status" {
 		t.Fatalf("events = %v, want trailing status", events)
 	}
-	var final jobView
+	var final JobView
 	if err := json.Unmarshal([]byte(lastData), &final); err != nil {
 		t.Fatalf("final event data: %v\n%s", err, lastData)
 	}
@@ -596,7 +596,7 @@ func TestEventsStream(t *testing.T) {
 // and the latency histogram.
 func TestMetrics(t *testing.T) {
 	_, ts := newTestServer(t, Options{})
-	v, _ := submit(t, ts, submitRequest{Spec: shortSpec(111)}, "?wait=1")
+	v, _ := submit(t, ts, SubmitRequest{Spec: shortSpec(111)}, "?wait=1")
 	if v.Status != StatusDone {
 		t.Fatalf("job ended %s", v.Status)
 	}
@@ -639,7 +639,7 @@ func readAll(t *testing.T, resp *http.Response) string {
 // returns the canonical form, and the result identity is preserved.
 func TestCanonicalSpecEcho(t *testing.T) {
 	_, ts := newTestServer(t, Options{})
-	v, _ := submit(t, ts, submitRequest{
+	v, _ := submit(t, ts, SubmitRequest{
 		Spec: simspec.Spec{GPU: "HS", CPU: "vips", Scheme: "DelegatedReplies",
 			Warmup: 200, Cycles: 2000, Seed: 121},
 	}, "?wait=1")

@@ -102,15 +102,15 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			if err := writeSSE(w, f, ev); err != nil {
 				return
 			}
-			if view, ok := ev.data.(jobView); ok && view.Status.Terminal() {
+			if view, ok := ev.data.(JobView); ok && view.Status.Terminal() {
 				return
 			}
 		case <-ticker.C:
 			s.mu.Lock()
-			var pv *progressView
+			var pv *ProgressView
 			if j.status == StatusRunning && j.fut != nil {
 				done, total := j.fut.Progress()
-				pv = &progressView{CyclesDone: done, CyclesTotal: total}
+				pv = &ProgressView{CyclesDone: done, CyclesTotal: total}
 			}
 			s.mu.Unlock()
 			if pv == nil {
@@ -128,7 +128,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 					if err := writeSSE(w, f, ev); err != nil {
 						return
 					}
-					if view, ok := ev.data.(jobView); ok && view.Status.Terminal() {
+					if view, ok := ev.data.(JobView); ok && view.Status.Terminal() {
 						return
 					}
 					continue

@@ -27,8 +27,8 @@ func TestTelemetryInertness(t *testing.T) {
 		Telemetry: true,
 	})
 
-	vp, _ := submit(t, plain, submitRequest{Spec: spec}, "?wait=1")
-	vt, _ := submit(t, traced, submitRequest{Spec: spec}, "?wait=1")
+	vp, _ := submit(t, plain, SubmitRequest{Spec: spec}, "?wait=1")
+	vt, _ := submit(t, traced, SubmitRequest{Spec: spec}, "?wait=1")
 	if vp.Status != StatusDone || vt.Status != StatusDone {
 		t.Fatalf("jobs ended %s / %s", vp.Status, vt.Status)
 	}
@@ -64,7 +64,7 @@ func TestTelemetryEndToEnd(t *testing.T) {
 		Telemetry: true,
 	})
 
-	v, vresp := submit(t, ts, submitRequest{Spec: shortSpec(211), Client: "tracer"}, "?wait=1")
+	v, vresp := submit(t, ts, SubmitRequest{Spec: shortSpec(211), Client: "tracer"}, "?wait=1")
 	if vresp.StatusCode != http.StatusOK || v.Status != StatusDone {
 		t.Fatalf("submit: status %d, job %s (%s)", vresp.StatusCode, v.Status, v.Error)
 	}
@@ -166,11 +166,11 @@ func TestTelemetryEndToEnd(t *testing.T) {
 	}
 
 	// A job cancelled while queued also lands in the recorder.
-	gate, _ := submit(t, ts, submitRequest{Spec: longSpec(212)}, "")
-	pollUntil(t, ts, gate.ID, func(v jobView) bool { return v.Status == StatusRunning })
-	gate2, _ := submit(t, ts, submitRequest{Spec: longSpec(213)}, "")
-	pollUntil(t, ts, gate2.ID, func(v jobView) bool { return v.Status == StatusRunning })
-	queued, _ := submit(t, ts, submitRequest{Spec: longSpec(214)}, "")
+	gate, _ := submit(t, ts, SubmitRequest{Spec: longSpec(212)}, "")
+	pollUntil(t, ts, gate.ID, func(v JobView) bool { return v.Status == StatusRunning })
+	gate2, _ := submit(t, ts, SubmitRequest{Spec: longSpec(213)}, "")
+	pollUntil(t, ts, gate2.ID, func(v JobView) bool { return v.Status == StatusRunning })
+	queued, _ := submit(t, ts, SubmitRequest{Spec: longSpec(214)}, "")
 	cancelJob(t, ts, queued.ID)
 	found := false
 	for _, rec := range s.flight.Snapshot() {
@@ -192,7 +192,7 @@ func TestTelemetryEndToEnd(t *testing.T) {
 // jobs run untraced.
 func TestTelemetryDisabledEndpoints(t *testing.T) {
 	_, ts := newTestServer(t, Options{})
-	v, _ := submit(t, ts, submitRequest{Spec: shortSpec(221)}, "?wait=1")
+	v, _ := submit(t, ts, SubmitRequest{Spec: shortSpec(221)}, "?wait=1")
 	if v.Status != StatusDone {
 		t.Fatalf("job ended %s", v.Status)
 	}
@@ -220,7 +220,7 @@ func TestTelemetryDisabledEndpoints(t *testing.T) {
 // The new metric families appear once jobs have flowed through.
 func TestMetricsTelemetrySeries(t *testing.T) {
 	_, ts := newTestServer(t, Options{Telemetry: true})
-	if v, _ := submit(t, ts, submitRequest{Spec: shortSpec(231), Priority: "high"}, "?wait=1"); v.Status != StatusDone {
+	if v, _ := submit(t, ts, SubmitRequest{Spec: shortSpec(231), Priority: "high"}, "?wait=1"); v.Status != StatusDone {
 		t.Fatalf("job ended %s", v.Status)
 	}
 	resp, err := http.Get(ts.URL + "/metrics")
@@ -247,7 +247,7 @@ func TestMetricsTelemetrySeries(t *testing.T) {
 
 // sseEvents collects one SSE stream: event names in order plus the
 // decoded last status payload.
-func sseEvents(t *testing.T, resp *http.Response) (names []string, last jobView) {
+func sseEvents(t *testing.T, resp *http.Response) (names []string, last JobView) {
 	t.Helper()
 	sc := bufio.NewScanner(resp.Body)
 	var lastData string
@@ -273,8 +273,8 @@ func TestEventsCancelTerminalDelivery(t *testing.T) {
 		Engine: runner.New(runner.Options{Workers: 1}), Workers: 1,
 		ProgressInterval: 20 * time.Millisecond,
 	})
-	v, _ := submit(t, ts, submitRequest{Spec: longSpec(241)}, "")
-	pollUntil(t, ts, v.ID, func(v jobView) bool { return v.Status == StatusRunning })
+	v, _ := submit(t, ts, SubmitRequest{Spec: longSpec(241)}, "")
+	pollUntil(t, ts, v.ID, func(v JobView) bool { return v.Status == StatusRunning })
 
 	resp, err := http.Get(ts.URL + "/v1/jobs/" + v.ID + "/events")
 	if err != nil {
@@ -283,7 +283,7 @@ func TestEventsCancelTerminalDelivery(t *testing.T) {
 	defer resp.Body.Close()
 	done := make(chan struct{})
 	var names []string
-	var final jobView
+	var final JobView
 	go func() {
 		defer close(done)
 		names, final = sseEvents(t, resp)
@@ -321,8 +321,8 @@ func TestEventsClientDisconnect(t *testing.T) {
 		Engine: runner.New(runner.Options{Workers: 1}), Workers: 1,
 		ProgressInterval: 10 * time.Millisecond,
 	})
-	v, _ := submit(t, ts, submitRequest{Spec: longSpec(251)}, "")
-	pollUntil(t, ts, v.ID, func(v jobView) bool { return v.Status == StatusRunning })
+	v, _ := submit(t, ts, SubmitRequest{Spec: longSpec(251)}, "")
+	pollUntil(t, ts, v.ID, func(v JobView) bool { return v.Status == StatusRunning })
 
 	ctx, cancel := context.WithCancel(context.Background())
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+"/v1/jobs/"+v.ID+"/events", nil)

@@ -34,7 +34,7 @@ type Spec struct {
 	Routing      string `json:"routing,omitempty"` // cdr | dyxy | footprint | hare
 	L1Org        string `json:"l1org,omitempty"`   // private | dcl1 | dyneb
 	ChannelBytes int    `json:"channel,omitempty"` // NoC channel width in bytes
-	VCDepth      int    `json:"vcdepth,omitempty"` // VC buffer depth override in flits
+	VCDepth      int    `json:"vcdepth,omitempty"` // VC buffer depth in flits (0 = default)
 	Warmup       int64  `json:"warm,omitempty"`    // warmup cycles
 	Cycles       int64  `json:"cycles,omitempty"`  // measured cycles
 	Seed         int64  `json:"seed,omitempty"`    // random seed (0 means the default, 1)
@@ -115,9 +115,10 @@ func (s Spec) Resolve() (config.Config, Spec, error) {
 		norm.ChannelBytes = def.NoC.ChannelBytes
 	}
 	cfg.NoC.ChannelBytes = norm.ChannelBytes
-	if norm.VCDepth > 0 {
-		cfg.NoC.FlitsPerVC = norm.VCDepth
+	if norm.VCDepth == 0 {
+		norm.VCDepth = def.NoC.FlitsPerVC
 	}
+	cfg.NoC.FlitsPerVC = norm.VCDepth
 	if norm.Warmup == 0 {
 		norm.Warmup = def.WarmupCycles
 	}
@@ -139,6 +140,42 @@ func (s Spec) Resolve() (config.Config, Spec, error) {
 		return zero, s, fmt.Errorf("spec: %v", err)
 	}
 	return cfg, norm, nil
+}
+
+// FromConfig renders a resolved configuration back into its canonical
+// wire spec — the inverse of Resolve, used by fleet clients that hold
+// a runner.Spec (full Config) and need the JSON form to ship. Not
+// every Config is expressible: experiments mutate knobs (L1 geometry,
+// VC counts, buffer depths, …) the wire spec does not carry, and
+// shipping a lossy spec would silently simulate the wrong machine. So
+// the candidate spec is re-resolved and the round trip verified
+// field-for-field; any residue returns an error and the caller runs
+// that configuration locally instead.
+func FromConfig(cfg config.Config, gpu, cpu string) (Spec, error) {
+	s := Spec{
+		GPU:          gpu,
+		CPU:          cpu,
+		Scheme:       canonScheme(cfg.Scheme),
+		Layout:       cfg.Layout.Name,
+		Topo:         canonTopo(cfg.NoC.Topology),
+		Routing:      canonRouting(cfg.NoC.Routing),
+		L1Org:        canonOrg(cfg.GPU.Org),
+		ChannelBytes: cfg.NoC.ChannelBytes,
+		VCDepth:      cfg.NoC.FlitsPerVC,
+		Warmup:       cfg.WarmupCycles,
+		Cycles:       cfg.MeasureCycles,
+		Seed:         cfg.Seed,
+	}
+	back, _, err := s.Resolve()
+	if err != nil {
+		return Spec{}, fmt.Errorf("spec: config does not round-trip: %v", err)
+	}
+	// %+v equality is exactly the runner cache-key equality: equal
+	// renderings are guaranteed to be the same simulation.
+	if fmt.Sprintf("%+v", back) != fmt.Sprintf("%+v", cfg) {
+		return Spec{}, fmt.Errorf("spec: config carries knobs the wire spec cannot express")
+	}
+	return s, nil
 }
 
 // Read decodes one spec from JSON, rejecting unknown fields (a typoed

@@ -24,7 +24,7 @@ func TestResolveDefaults(t *testing.T) {
 	want := Spec{
 		GPU: "HS", CPU: "vips",
 		Scheme: "baseline", Layout: "Baseline", Topo: "mesh", Routing: "cdr",
-		L1Org: "private", ChannelBytes: 16,
+		L1Org: "private", ChannelBytes: 16, VCDepth: def.NoC.FlitsPerVC,
 		Warmup: def.WarmupCycles, Cycles: def.MeasureCycles, Seed: def.Seed,
 	}
 	if norm != want {
@@ -129,5 +129,47 @@ func TestResultDigestHex(t *testing.T) {
 	}
 	if !strings.Contains(string(b), `"digest":"deadbeefcafef00d"`) {
 		t.Fatalf("marshalled result: %s", b)
+	}
+}
+
+// FromConfig is the inverse of Resolve for every config a wire spec
+// can express — the property the fleet client relies on to route runs
+// to workers that will reconstruct the identical config from the spec.
+func TestFromConfigRoundTrip(t *testing.T) {
+	specs := []Spec{
+		{GPU: "HS", CPU: "vips"},
+		{GPU: "BP", CPU: "dedup", Scheme: "delegated", Layout: "B",
+			Topo: "fbfly", Routing: "hare", L1Org: "dcl1",
+			ChannelBytes: 32, VCDepth: 8, Warmup: 1000, Cycles: 4000, Seed: 7},
+		{GPU: "LUD", CPU: "x264", Scheme: "rp", Warmup: 500, Cycles: 2500, Seed: 3},
+	}
+	for _, in := range specs {
+		cfg, norm, err := in.Resolve()
+		if err != nil {
+			t.Fatalf("%+v: %v", in, err)
+		}
+		back, err := FromConfig(cfg, norm.GPU, norm.CPU)
+		if err != nil {
+			t.Fatalf("%+v: FromConfig: %v", in, err)
+		}
+		if back != norm {
+			t.Errorf("round trip changed the spec:\n got %+v\nwant %+v", back, norm)
+		}
+	}
+}
+
+// A config mutated off the expressible surface must be rejected, not
+// silently approximated — shipping a near-miss spec to a worker would
+// return results for the wrong simulation.
+func TestFromConfigRejectsInexpressible(t *testing.T) {
+	cfg, norm, err := Spec{GPU: "HS", CPU: "vips"}.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.NoC.VCsPerClass = 3 // a knob with no wire-spec field
+	if _, err := FromConfig(cfg, norm.GPU, norm.CPU); err == nil {
+		t.Fatal("FromConfig accepted a config the wire spec cannot express")
+	} else if !strings.Contains(err.Error(), "cannot express") {
+		t.Fatalf("unexpected error: %v", err)
 	}
 }
